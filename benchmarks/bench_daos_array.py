@@ -1,0 +1,45 @@
+"""Extension E1 (the paper's stated future work): IOR through the native
+DAOS array API, compared with DFS and with DFuse-based POSIX.
+
+Expectation: DAOS-array ≥ DFS ≥ POSIX — each layer peels off namespace
+and FUSE overhead.
+"""
+
+from conftest import run_once
+
+from repro.cluster import nextgenio
+from repro.ior import IorParams, run_ior
+from repro.units import GiB
+
+APIS = ("DAOS", "DFS", "POSIX")
+
+
+def test_native_array_api(benchmark, bench_scale):
+    nodes = min(4, max(bench_scale["node_counts"]))
+
+    def sweep():
+        out = {}
+        for api in APIS:
+            for fpp in (True, False):
+                cluster = nextgenio(client_nodes=nodes)
+                params = IorParams(
+                    api=api, file_per_proc=fpp, oclass="SX",
+                    block_size=bench_scale["block_size"], transfer_size="1m",
+                )
+                result = run_ior(cluster, params, ppn=bench_scale["ppn"])
+                out[(api, fpp)] = (result.max_write_bw, result.max_read_bw)
+        return out
+
+    data = run_once(benchmark, sweep)
+    print()
+    print(f"{'api':>6s} {'mode':>8s} {'write GiB/s':>12s} {'read GiB/s':>12s}")
+    for (api, fpp), (w, r) in data.items():
+        mode = "fpp" if fpp else "shared"
+        print(f"{api:>6s} {mode:>8s} {w / GiB:>12.2f} {r / GiB:>12.2f}")
+
+    for fpp in (True, False):
+        daos_w = data[("DAOS", fpp)][0]
+        dfs_w = data[("DFS", fpp)][0]
+        posix_w = data[("POSIX", fpp)][0]
+        assert daos_w >= dfs_w * 0.97  # native API at least matches DFS
+        assert dfs_w >= posix_w * 0.97  # DFS at least matches FUSE

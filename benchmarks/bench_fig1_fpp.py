@@ -1,0 +1,52 @@
+"""Figure 1 (a: read, b: write) — IOR file-per-process ("easy").
+
+Series: {DFS (DAOS), MPI-IO over DFuse, HDF5 over DFuse} x {S1, S2, SX},
+bandwidth vs number of client nodes. Regenerates both panels from one
+sweep and checks the paper's headline orderings.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig1_fpp, render_figure
+from repro.units import GiB
+
+
+def test_fig1_file_per_process(benchmark, bench_scale):
+    def sweep():
+        return fig1_fpp(
+            node_counts=bench_scale["node_counts"],
+            block_size=bench_scale["block_size"],
+            ppn=bench_scale["ppn"],
+        )
+
+    fig1a, fig1b = run_once(benchmark, sweep)
+    print()
+    print(render_figure(fig1a))
+    print()
+    print(render_figure(fig1b))
+
+    small = min(s.xs[0] for s in fig1a.series)
+    large = max(p.x for s in fig1a.series for p in s.points)
+
+    # Fig 1a: S2 best read for the DAOS/DFS interface at every count.
+    for x in (small, large):
+        s2 = fig1b.series_by_label("DAOS S2")  # noqa: F841 (write checked below)
+        r_s2 = fig1a.series_by_label("DAOS S2").at(x)
+        assert r_s2 >= fig1a.series_by_label("DAOS SX").at(x)
+        assert r_s2 >= fig1a.series_by_label("DAOS S1").at(x) * 0.98
+
+    # Fig 1b: SX lower for few writers, best under high contention.
+    w_small = {oc: fig1b.series_by_label(f"DAOS {oc}").at(small)
+               for oc in ("S1", "S2", "SX")}
+    assert w_small["SX"] < w_small["S2"]
+    w_large = {oc: fig1b.series_by_label(f"DAOS {oc}").at(large)
+               for oc in ("S1", "S2", "SX")}
+    assert w_large["SX"] >= max(w_large["S1"], w_large["S2"])
+
+    # DFS ~ MPI-IO over DFuse; HDF5 over DFuse much lower.
+    for x in (small, large):
+        dfs = fig1b.series_by_label("DAOS S2").at(x)
+        mpiio = fig1b.series_by_label("MPI-IO S2").at(x)
+        hdf5 = fig1b.series_by_label("HDF5 S2").at(x)
+        assert abs(dfs - mpiio) / dfs < 0.12
+        assert hdf5 < 0.6 * dfs

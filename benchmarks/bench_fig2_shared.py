@@ -1,0 +1,62 @@
+"""Figure 2 (a: read, b: write) — IOR single shared file ("hard").
+
+Series: DFS, MPI-IO over DFuse, HDF5 (parallel, mpio VFD) on an SX
+object, bandwidth vs client nodes. Checks: similar performance across
+interfaces, DFS highest write, and the shared ≈ file-per-process
+property that closes Section IV.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig1_fpp, fig2_shared, render_figure
+
+
+def test_fig2_shared_file(benchmark, bench_scale):
+    def sweep():
+        return fig2_shared(
+            node_counts=bench_scale["node_counts"],
+            block_size=bench_scale["block_size"],
+            ppn=bench_scale["ppn"],
+        )
+
+    fig2a, fig2b = run_once(benchmark, sweep)
+    print()
+    print(render_figure(fig2a))
+    print()
+    print(render_figure(fig2b))
+
+    xs = sorted({p.x for s in fig2a.series for p in s.points})
+    for x in xs:
+        writes = {s.label: s.at(x) for s in fig2b.series}
+        reads = {s.label: s.at(x) for s in fig2a.series}
+        # DFS gives the highest write bandwidth...
+        assert writes["DAOS"] == max(writes.values())
+        # ...and performance is similar across interfaces.
+        assert min(writes.values()) > 0.65 * max(writes.values())
+        assert min(reads.values()) > 0.65 * max(reads.values())
+
+
+def test_fig2_shared_matches_fpp_overall(benchmark, bench_scale):
+    """'file-per-process and shared-file give similar overall
+    performance' — compare the DFS/SX series of both modes."""
+    nodes = max(bench_scale["node_counts"])
+
+    def sweep():
+        fig1a, fig1b = fig1_fpp(
+            node_counts=(nodes,), block_size=bench_scale["block_size"],
+            ppn=bench_scale["ppn"], interfaces=("DFS",), oclasses=("SX",),
+        )
+        fig2a, fig2b = fig2_shared(
+            node_counts=(nodes,), block_size=bench_scale["block_size"],
+            ppn=bench_scale["ppn"], interfaces=("DFS",),
+        )
+        return (
+            fig1b.series[0].at(nodes),
+            fig2b.series[0].at(nodes),
+            fig1a.series[0].at(nodes),
+            fig2a.series[0].at(nodes),
+        )
+
+    fpp_w, shared_w, fpp_r, shared_r = run_once(benchmark, sweep)
+    assert shared_w > 0.6 * fpp_w and shared_w < 1.7 * fpp_w
+    assert shared_r > 0.6 * fpp_r and shared_r < 1.7 * fpp_r

@@ -1,0 +1,39 @@
+"""Section IV/V contrast: DAOS shared-file ≈ file-per-process, "in stark
+contrast to the performance standard parallel filesystems provide".
+
+Runs the easy and (unaligned-interleaved) hard write workloads on both
+DAOS and the Lustre baseline over identical simulated hardware.
+"""
+
+from conftest import run_once
+
+from repro.bench import lustre_contrast
+from repro.units import fmt_bw
+
+
+def test_stark_contrast(benchmark, bench_scale):
+    nodes = min(4, max(bench_scale["node_counts"]))
+
+    def sweep():
+        return lustre_contrast(
+            nodes=nodes,
+            block_size=bench_scale["block_size"],
+            ppn=bench_scale["ppn"],
+        )
+
+    cells = run_once(benchmark, sweep)
+    daos_ratio = cells["daos_shared_write"] / cells["daos_fpp_write"]
+    lustre_ratio = cells["lustre_shared_write"] / cells["lustre_fpp_write"]
+    print()
+    print(f"{'':22s} {'file-per-process':>18s} {'shared-file':>14s} "
+          f"{'ratio':>7s}")
+    print(f"{'DAOS (DFS, SX)':22s} "
+          f"{fmt_bw(cells['daos_fpp_write']):>18s} "
+          f"{fmt_bw(cells['daos_shared_write']):>14s} {daos_ratio:>6.2f}")
+    print(f"{'Lustre (POSIX)':22s} "
+          f"{fmt_bw(cells['lustre_fpp_write']):>18s} "
+          f"{fmt_bw(cells['lustre_shared_write']):>14s} {lustre_ratio:>6.2f}")
+
+    assert daos_ratio > 0.6
+    assert lustre_ratio < 0.5
+    assert daos_ratio > 2 * lustre_ratio

@@ -1,0 +1,64 @@
+"""Extension E2: mdtest-style metadata rates, DAOS vs Lustre.
+
+The paper's introduction motivates object stores with metadata-bound
+small-file workloads; this measures it: create/stat/remove storms on
+DFuse (distributed directory-entry KV across engine targets) vs Lustre
+(single MDS).
+"""
+
+from conftest import run_once
+
+from repro.cluster import build_lustre_cluster, nextgenio
+from repro.mdtest import MdtestParams, run_mdtest
+
+
+def test_metadata_rates(benchmark, bench_scale):
+    nodes = min(4, max(bench_scale["node_counts"]))
+    params = MdtestParams(files_per_rank=64)
+
+    def sweep():
+        daos = run_mdtest(
+            nextgenio(client_nodes=nodes), params, ppn=bench_scale["ppn"]
+        )
+        lustre = run_mdtest(
+            build_lustre_cluster(server_nodes=8, client_nodes=nodes),
+            params,
+            ppn=bench_scale["ppn"],
+        )
+        return daos, lustre
+
+    daos, lustre = run_once(benchmark, sweep)
+    print()
+    print(f"{'phase':>8s} {'DAOS ops/s':>12s} {'Lustre ops/s':>13s}")
+    for phase in params.phases:
+        print(f"{phase:>8s} {daos.rates[phase]:>12.0f} "
+              f"{lustre.rates[phase]:>13.0f}")
+    assert all(rate > 0 for rate in daos.rates.values())
+    assert all(rate > 0 for rate in lustre.rates.values())
+
+
+def test_mdtest_scaling_contrast(benchmark, bench_scale):
+    """Creates/second as clients grow: DAOS keeps scaling, the single
+    MDS saturates."""
+    params = MdtestParams(files_per_rank=32, phases=("create",))
+
+    def sweep():
+        out = {}
+        for nodes in (1, 4):
+            out[("daos", nodes)] = run_mdtest(
+                nextgenio(client_nodes=nodes), params, ppn=bench_scale["ppn"]
+            ).rates["create"]
+            out[("lustre", nodes)] = run_mdtest(
+                build_lustre_cluster(server_nodes=8, client_nodes=nodes),
+                params,
+                ppn=bench_scale["ppn"],
+            ).rates["create"]
+        return out
+
+    data = run_once(benchmark, sweep)
+    daos_speedup = data[("daos", 4)] / data[("daos", 1)]
+    lustre_speedup = data[("lustre", 4)] / data[("lustre", 1)]
+    print()
+    print(f"create-rate speedup 1→4 nodes: DAOS {daos_speedup:.2f}x, "
+          f"Lustre {lustre_speedup:.2f}x")
+    assert daos_speedup > lustre_speedup

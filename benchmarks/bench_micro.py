@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the substrates themselves.
+
+These time the *simulator* (wall clock), not simulated hardware: the
+fluid-flow allocator under churn, Raft commit throughput, B+-tree and
+extent-tree operation rates. They guard the repo against performance
+regressions that would make the paper-scale sweeps impractical.
+"""
+
+import pytest
+
+from repro.consensus.raft import RaftCluster
+from repro.consensus.state_machine import AppendLogMachine
+from repro.daos.vos.btree import BPlusTree
+from repro.daos.vos.extent import ExtentTree
+from repro.network import Fabric
+from repro.network.flows import FlowNetwork
+from repro.sim import RngStreams, Simulator
+
+
+def test_flow_allocator_churn(benchmark):
+    """Open/close 400 striped flows over 64 target links."""
+
+    def churn():
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        targets = [net.add_link(f"t{i}", 1e9) for i in range(64)]
+        nic = net.add_link("nic", 10e9)
+        flows = []
+        for i in range(400):
+            chosen = [(targets[(i * 7 + k) % 64], 1 / 8) for k in range(8)]
+            flows.append(net.open([(nic, 1.0)] + chosen))
+            if len(flows) > 100:
+                net.close(flows.pop(0))
+        for flow in flows:
+            net.close(flow)
+        return net.reallocations
+
+    reallocations = benchmark(churn)
+    assert reallocations >= 800
+
+
+def test_raft_commit_throughput(benchmark):
+    """500 commands through a 3-replica raft group."""
+
+    def commits():
+        sim = Simulator()
+        fabric = Fabric(sim)
+        addrs = [fabric.add_node(f"n{i}", 10e9) for i in range(3)]
+        cluster = RaftCluster(
+            sim, fabric, addrs, AppendLogMachine, rng=RngStreams(seed=4)
+        )
+
+        def client():
+            leader = yield from cluster.wait_leader()
+            for i in range(500):
+                status, _ = yield leader.propose(("op", i))
+                assert status == "ok"
+
+        task = sim.spawn(client())
+        sim.run_until_complete(task)
+        # the leader's machine is fully applied; followers may trail by
+        # the in-flight heartbeat
+        return max(len(m.applied) for m in cluster.machines)
+
+    applied = benchmark.pedantic(commits, rounds=1, iterations=1)
+    assert applied == 500
+
+
+def test_btree_ops(benchmark):
+    def ops():
+        tree = BPlusTree(capacity=32)
+        for i in range(20_000):
+            tree.insert((i * 2654435761) % 1_000_003, i)
+        hits = sum(1 for i in range(20_000)
+                   if tree.get((i * 2654435761) % 1_000_003) is not None)
+        for i in range(0, 20_000, 2):
+            tree.delete((i * 2654435761) % 1_000_003)
+        return hits
+
+    hits = benchmark(ops)
+    assert hits == 20_000
+
+
+def test_extent_tree_overlay(benchmark):
+    from repro.daos.vos.payload import PatternPayload
+
+    def ops():
+        tree = ExtentTree()
+        for i in range(5_000):
+            offset = (i * 977) % 100_000
+            tree.write(offset, PatternPayload(1, offset, 512), epoch=i)
+        return len(tree)
+
+    extents = benchmark(ops)
+    assert extents > 0

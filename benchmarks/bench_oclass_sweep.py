@@ -1,0 +1,43 @@
+"""Ablation A1: the full object-class ladder S1→S2→S4→S8→SX.
+
+The paper sweeps S1/S2/SX; this fills in the intermediate classes to
+show where the narrow-class hotspot penalty and the wide-class locality
+penalty trade off (file-per-process writes at one contended node count).
+"""
+
+from conftest import run_once
+
+from repro.cluster import nextgenio
+from repro.ior import IorParams, run_ior
+from repro.units import GiB
+
+CLASSES = ("S1", "S2", "S4", "S8", "SX")
+
+
+def test_oclass_ladder(benchmark, bench_scale):
+    nodes = max(bench_scale["node_counts"])
+
+    def sweep():
+        out = {}
+        for oclass in CLASSES:
+            cluster = nextgenio(client_nodes=nodes)
+            params = IorParams(
+                api="DFS", file_per_proc=True, oclass=oclass,
+                block_size=bench_scale["block_size"], transfer_size="1m",
+            )
+            result = run_ior(cluster, params, ppn=bench_scale["ppn"])
+            out[oclass] = (result.max_write_bw, result.max_read_bw)
+        return out
+
+    ladder = run_once(benchmark, sweep)
+    print()
+    print(f"{'class':>6s} {'write GiB/s':>12s} {'read GiB/s':>12s}"
+          f"   ({nodes} client nodes, file-per-process)")
+    for oclass, (write_bw, read_bw) in ladder.items():
+        print(f"{oclass:>6s} {write_bw / GiB:>12.2f} {read_bw / GiB:>12.2f}")
+
+    # The intermediate classes bridge S1 and SX: S4 and S8 must not be
+    # pathological relative to their neighbours.
+    writes = {oc: w for oc, (w, _) in ladder.items()}
+    assert writes["S4"] > 0.5 * max(writes["S2"], writes["S8"])
+    assert writes["S8"] > 0.5 * max(writes["S4"], writes["SX"])

@@ -1,0 +1,31 @@
+"""Benchmark configuration.
+
+Default scale keeps ``pytest benchmarks/ --benchmark-only`` in minutes:
+node counts (1, 4), 16 MiB blocks. Set ``REPRO_BENCH_FULL=1`` for the
+paper-scale sweep (1..16 nodes, 64 MiB blocks) used to fill
+EXPERIMENTS.md — or run ``python benchmarks/run_figures.py --full``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+# the quick sweep includes 8 nodes: the S2->SX write crossover regime
+NODE_COUNTS = (1, 2, 4, 8, 16) if FULL else (1, 8)
+BLOCK = "64m" if FULL else "16m"
+PPN = 16
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return {"node_counts": NODE_COUNTS, "block_size": BLOCK, "ppn": PPN}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate the paper's figures as ASCII tables.
+
+Usage::
+
+    python benchmarks/run_figures.py                 # quick scale
+    python benchmarks/run_figures.py --full          # paper scale
+    python benchmarks/run_figures.py --figure 1a     # one panel
+    python benchmarks/run_figures.py --contrast      # the §IV claim
+
+The full sweep (1..16 client nodes x 16 ppn, 64 MiB blocks) regenerates
+the exact series reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    FULL_NODE_COUNTS,
+    QUICK_NODE_COUNTS,
+    fig1_fpp,
+    fig2_shared,
+    lustre_contrast,
+    render_figure,
+)
+from repro.units import fmt_bw
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sweep (slow: ~15-30 min)")
+    parser.add_argument("--figure", choices=["1a", "1b", "2a", "2b", "all"],
+                        default="all")
+    parser.add_argument("--contrast", action="store_true",
+                        help="also run the DAOS-vs-Lustre contrast")
+    parser.add_argument("--ppn", type=int, default=16)
+    args = parser.parse_args(argv)
+
+    node_counts = FULL_NODE_COUNTS if args.full else QUICK_NODE_COUNTS
+    block = "64m" if args.full else "16m"
+
+    t0 = time.time()
+    if args.figure in ("1a", "1b", "all"):
+        fig1a, fig1b = fig1_fpp(node_counts, block, args.ppn)
+        if args.figure in ("1a", "all"):
+            print(render_figure(fig1a), end="\n\n")
+        if args.figure in ("1b", "all"):
+            print(render_figure(fig1b), end="\n\n")
+    if args.figure in ("2a", "2b", "all"):
+        fig2a, fig2b = fig2_shared(node_counts, block, args.ppn)
+        if args.figure in ("2a", "all"):
+            print(render_figure(fig2a), end="\n\n")
+        if args.figure in ("2b", "all"):
+            print(render_figure(fig2b), end="\n\n")
+    if args.contrast:
+        cells = lustre_contrast(nodes=min(4, max(node_counts)),
+                                block_size=block, ppn=args.ppn)
+        print("Write bandwidth, easy vs hard:")
+        print(f"  DAOS   fpp {fmt_bw(cells['daos_fpp_write'])}, "
+              f"shared {fmt_bw(cells['daos_shared_write'])}")
+        print(f"  Lustre fpp {fmt_bw(cells['lustre_fpp_write'])}, "
+              f"shared {fmt_bw(cells['lustre_shared_write'])}")
+    print(f"(generated in {time.time() - t0:.1f}s wall time)",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

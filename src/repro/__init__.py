@@ -1,0 +1,37 @@
+"""repro — reproduction of *DAOS as HPC Storage: Exploring Interfaces*.
+
+This package re-implements, from scratch and in pure Python, the full
+system stack exercised by Jackson & Manubens (IEEE CLUSTER 2023):
+
+- a discrete-event simulation kernel (:mod:`repro.sim`),
+- a fluid-flow network/storage contention model (:mod:`repro.network`),
+- hardware models of the NEXTGenIO research system (:mod:`repro.hardware`),
+- a Raft consensus implementation (:mod:`repro.consensus`),
+- a simulated MPI runtime (:mod:`repro.mpi`),
+- a functional DAOS object store: VOS, placement, object classes,
+  pools/containers, engines and a client library (:mod:`repro.daos`),
+- the DAOS File System and DFuse mount (:mod:`repro.dfs`, :mod:`repro.dfuse`),
+- an MPI-IO implementation with ROMIO-style collective buffering
+  (:mod:`repro.mpiio`),
+- an HDF5-like self-describing file format library (:mod:`repro.hdf5`),
+- a Lustre-like parallel filesystem baseline (:mod:`repro.lustre`),
+- a faithful port of the IOR benchmark (:mod:`repro.ior`) plus an
+  mdtest-style metadata benchmark (:mod:`repro.mdtest`),
+- cluster builders and the benchmark harness used to regenerate every
+  figure in the paper (:mod:`repro.cluster`, :mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.cluster import nextgenio
+    from repro.ior import IorParams, run_ior
+
+    cluster = nextgenio(client_nodes=2)
+    result = run_ior(cluster, IorParams(api="DFS", block_size="64m",
+                                        transfer_size="1m",
+                                        file_per_proc=True))
+    print(result.summary())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,92 @@
+"""An IO500-style composite benchmark on the simulated stack.
+
+The paper cites DAOS's IO-500 rankings as evidence that it "can scale to
+high metadata operation and I/O bandwidth rates"; this harness runs the
+list's four bandwidth phases (ior-easy/hard × write/read) and an
+mdtest-style metadata phase, and combines them with the IO500 scoring
+rule: the geometric mean of the bandwidth scores (GiB/s) and of the
+metadata scores (kIOPS), and the final score their geometric mean.
+
+This is a structural reproduction of the benchmark's shape, not of its
+exact parameter set (ior-hard's 47008-byte transfers are kept, the
+stonewalling timer is not modelled).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.ior import IorParams, run_ior
+from repro.mdtest import MdtestParams, run_mdtest
+from repro.units import GiB
+
+#: ior-hard's famously unaligned transfer size (bytes)
+HARD_XFER = 47008
+
+
+@dataclass
+class Io500Result:
+    bandwidth: Dict[str, float] = field(default_factory=dict)  # bytes/s
+    metadata: Dict[str, float] = field(default_factory=dict)  # ops/s
+
+    @staticmethod
+    def _geomean(values) -> float:
+        values = list(values)
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    @property
+    def bw_score(self) -> float:
+        """GiB/s, geometric mean of the bandwidth phases."""
+        return self._geomean(v / GiB for v in self.bandwidth.values())
+
+    @property
+    def md_score(self) -> float:
+        """kIOPS, geometric mean of the metadata phases."""
+        return self._geomean(v / 1e3 for v in self.metadata.values())
+
+    @property
+    def score(self) -> float:
+        return math.sqrt(self.bw_score * self.md_score)
+
+    def summary(self) -> str:
+        lines = ["IO500-style result (simulated):"]
+        for name, value in self.bandwidth.items():
+            lines.append(f"  {name:16s} {value / GiB:10.2f} GiB/s")
+        for name, value in self.metadata.items():
+            lines.append(f"  {name:16s} {value / 1e3:10.1f} kIOPS")
+        lines.append(f"  bandwidth score  {self.bw_score:10.2f} GiB/s")
+        lines.append(f"  metadata  score  {self.md_score:10.1f} kIOPS")
+        lines.append(f"  SCORE            {self.score:10.2f}")
+        return "\n".join(lines)
+
+
+def run_io500(
+    cluster,
+    ppn: int = 16,
+    easy_block="16m",
+    hard_transfers: int = 64,
+    md_files: int = 64,
+) -> Io500Result:
+    """Run the five phases on a booted cluster."""
+    result = Io500Result()
+
+    easy = IorParams(api="DFS", file_per_proc=True, oclass="S2",
+                     block_size=easy_block, transfer_size="1m")
+    easy_run = run_ior(cluster, easy, ppn=ppn)
+    result.bandwidth["ior-easy-write"] = easy_run.max_write_bw
+    result.bandwidth["ior-easy-read"] = easy_run.max_read_bw
+
+    hard = IorParams(api="DFS", file_per_proc=False, oclass="SX",
+                     interleaved=True,
+                     block_size=HARD_XFER * hard_transfers,
+                     transfer_size=HARD_XFER)
+    hard_run = run_ior(cluster, hard, ppn=ppn)
+    result.bandwidth["ior-hard-write"] = hard_run.max_write_bw
+    result.bandwidth["ior-hard-read"] = hard_run.max_read_bw
+
+    md = run_mdtest(cluster, MdtestParams(files_per_rank=md_files), ppn=ppn)
+    for phase, rate in md.rates.items():
+        result.metadata[f"mdtest-{phase}"] = rate
+    return result

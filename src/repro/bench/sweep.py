@@ -1,0 +1,49 @@
+"""Series/figure data containers for benchmark sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SeriesPoint:
+    x: int  # client nodes
+    value: float  # bytes/s
+
+
+@dataclass
+class Series:
+    label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: int, value: float) -> None:
+        self.points.append(SeriesPoint(x, value))
+
+    def at(self, x: int) -> Optional[float]:
+        for point in self.points:
+            if point.x == x:
+                return point.value
+        return None
+
+    @property
+    def xs(self) -> List[int]:
+        return [p.x for p in self.points]
+
+
+@dataclass
+class FigureData:
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[Series] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(label)
+
+    def labels(self) -> List[str]:
+        return [s.label for s in self.series]

@@ -1,0 +1,167 @@
+"""Builders producing a booted simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.daos.client import DaosClient
+from repro.daos.system import DaosSystem, PoolMap
+from repro.hardware.node import ClientNode, ServerNode
+from repro.hardware.specs import EngineSpec, FabricSpec, NodeSpec
+from repro.network.fabric import Fabric
+from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
+from repro.units import GiB
+
+
+@dataclass
+class Cluster:
+    """A booted system: simulator, fabric, nodes, DAOS, and a pool."""
+
+    sim: Simulator
+    fabric: Fabric
+    servers: List[ServerNode]
+    clients: List[ClientNode]
+    daos: DaosSystem
+    pool: PoolMap
+    rng: RngStreams
+
+    def new_client(self, node_index: int = 0, name: str = "") -> DaosClient:
+        """A fresh libdaos client context on the given client node."""
+        return DaosClient(self.daos, self.clients[node_index], name)
+
+    def run(self, gen, limit: float = 1e9):
+        """Spawn a task and drive the simulation until it completes."""
+        task = self.sim.spawn(gen)
+        return self.sim.run_until_complete(task, limit=limit)
+
+
+def build_cluster(
+    server_nodes: int,
+    client_nodes: int,
+    engine_spec: Optional[EngineSpec] = None,
+    fabric_spec: Optional[FabricSpec] = None,
+    capacity_per_target: int = 64 * GiB,
+    seed: int = 0xDA05,
+) -> Cluster:
+    """Assemble and boot a cluster; returns once the pool exists and the
+    metadata service has a stable leader."""
+    sim = Simulator()
+    rng = RngStreams(seed=seed)
+    fspec = fabric_spec or FabricSpec()
+    fabric = Fabric(
+        sim,
+        base_latency=fspec.base_latency,
+        msg_bandwidth=fspec.msg_bandwidth,
+        software_overhead=fspec.software_overhead,
+    )
+    espec = engine_spec or EngineSpec()
+    server_spec = NodeSpec(engines=2, engine=espec)
+    client_spec = NodeSpec(engines=0)
+    servers = [
+        ServerNode(fabric, f"server{i}", server_spec) for i in range(server_nodes)
+    ]
+    clients = [
+        ClientNode(fabric, f"client{i}", client_spec) for i in range(client_nodes)
+    ]
+    daos = DaosSystem(sim, fabric, servers, rng=rng)
+
+    def boot():
+        pool = yield from daos.create_pool(
+            "tank", capacity_per_target=capacity_per_target
+        )
+        return pool
+
+    task = sim.spawn(boot(), "boot")
+    pool = sim.run_until_complete(task, limit=60.0)
+    return Cluster(sim, fabric, servers, clients, daos, pool, rng)
+
+
+@dataclass
+class LustreCluster:
+    """A booted Lustre system on the same hardware model."""
+
+    sim: Simulator
+    fabric: Fabric
+    servers: List[ServerNode]
+    clients: List[ClientNode]
+    fs: "object"  # LustreFs
+
+    def mount(self, node_index: int = 0, name: str = ""):
+        from repro.lustre.client import LustreMount
+
+        return LustreMount(self.fs, self.clients[node_index], name)
+
+    def run(self, gen, limit: float = 1e9):
+        task = self.sim.spawn(gen)
+        return self.sim.run_until_complete(task, limit=limit)
+
+
+def build_lustre_cluster(
+    server_nodes: int,
+    client_nodes: int,
+    engine_spec: Optional[EngineSpec] = None,
+    stripe_count: int = 4,
+    stripe_size: Optional[int] = None,
+    seed: int = 0xDA05,
+) -> LustreCluster:
+    """Assemble a Lustre filesystem over NEXTGenIO-class hardware, for
+    the DAOS-vs-parallel-filesystem contrast experiment."""
+    from repro.lustre.fs import LustreFs
+    from repro.units import MiB
+
+    sim = Simulator()
+    fspec = FabricSpec()
+    fabric = Fabric(
+        sim,
+        base_latency=fspec.base_latency,
+        msg_bandwidth=fspec.msg_bandwidth,
+        software_overhead=fspec.software_overhead,
+    )
+    espec = engine_spec or EngineSpec()
+    server_spec = NodeSpec(engines=2, engine=espec)
+    servers = [
+        ServerNode(fabric, f"oss{i}", server_spec) for i in range(server_nodes)
+    ]
+    clients = [
+        ClientNode(fabric, f"client{i}", NodeSpec(engines=0))
+        for i in range(client_nodes)
+    ]
+    fs = LustreFs(
+        sim,
+        fabric,
+        servers,
+        default_stripe_count=stripe_count,
+        default_stripe_size=stripe_size or MiB,
+    )
+    return LustreCluster(sim, fabric, servers, clients, fs)
+
+
+def nextgenio(client_nodes: int = 4, seed: int = 0xDA05,
+              capacity_per_target: int = 192 * GiB) -> Cluster:
+    """The paper's testbed: 8 servers, 2 engines each, Optane media."""
+    return build_cluster(
+        server_nodes=8,
+        client_nodes=client_nodes,
+        capacity_per_target=capacity_per_target,
+        seed=seed,
+    )
+
+
+def small_cluster(
+    server_nodes: int = 2,
+    client_nodes: int = 2,
+    targets_per_engine: int = 2,
+    seed: int = 0xDA05,
+    capacity_per_target: int = 4 * GiB,
+) -> Cluster:
+    """A cheap cluster for unit/integration tests."""
+    espec = EngineSpec(targets=targets_per_engine)
+    return build_cluster(
+        server_nodes=server_nodes,
+        client_nodes=client_nodes,
+        engine_spec=espec,
+        capacity_per_target=capacity_per_target,
+        seed=seed,
+    )

@@ -1,0 +1,42 @@
+"""A functional re-implementation of the DAOS object store.
+
+Layers (bottom-up):
+
+- :mod:`repro.daos.vos` — the Versioned Object Store kept by each target:
+  B+-tree key indices, byte-granular extent trees, epoch ordering,
+  capacity accounting.
+- :mod:`repro.daos.oclass` / :mod:`repro.daos.objid` /
+  :mod:`repro.daos.placement` — object classes (S1…SX, RP_*), 128-bit
+  object ids with embedded class, and deterministic algorithmic placement
+  of object shards onto pool targets.
+- :mod:`repro.daos.engine` — the per-socket I/O engine: RPC handlers,
+  per-target service credits, media/back-end timing.
+- :mod:`repro.daos.system` — a running DAOS system: engines plus the
+  Raft-backed pool/container metadata service.
+- :mod:`repro.daos.client` — ``libdaos``: pool connect, container
+  open/create, object/KV/array handles, and the I/O streams that map
+  bulk transfers onto fluid-network flows.
+"""
+
+__all__ = ["ObjectClass", "ObjId", "DaosSystem", "DaosClient"]
+
+
+def __getattr__(name):
+    # Lazy imports keep ``import repro.daos.vos`` cheap and cycle-free.
+    if name == "ObjectClass":
+        from repro.daos.oclass import ObjectClass
+
+        return ObjectClass
+    if name == "ObjId":
+        from repro.daos.objid import ObjId
+
+        return ObjId
+    if name == "DaosSystem":
+        from repro.daos.system import DaosSystem
+
+        return DaosSystem
+    if name == "DaosClient":
+        from repro.daos.client import DaosClient
+
+        return DaosClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

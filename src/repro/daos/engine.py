@@ -1,0 +1,198 @@
+"""The DAOS I/O engine: RPC service, targets, and timing.
+
+One engine runs per socket (two per NEXTGenIO server). It exposes the
+metadata/object RPCs used by the KV paths (directory entries, inode
+records, enumeration — the operations an mdtest-style workload storms),
+applies them to the per-target VOS shards, and charges:
+
+- fixed per-RPC CPU (``EngineSpec.per_rpc_cpu``),
+- a per-target inflight-credit semaphore (xstream ULT concurrency),
+- media access latency for the persistent-memory commit.
+
+Bulk array I/O does *not* flow through these RPC handlers: the client's
+:class:`~repro.daos.stream.IoStream` charges wire/media time through the
+fluid-flow network and applies extents to the same VOS shards directly
+(see DESIGN.md §3); the engine provides the shard-resolution and
+first-writer tree-creation accounting used by that path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Set, Tuple
+
+from repro.daos.vos.container import VosContainer
+from repro.daos.vos.pool import VosPool
+from repro.errors import DerNonexist
+from repro.hardware.node import EngineSlot, StorageTarget
+from repro.network.fabric import Fabric
+from repro.network.ofi import RpcServer
+from repro.sim.core import Simulator
+from repro.sim.sync import Semaphore
+from repro.sim.trace import Stats
+
+
+class Engine:
+    """One DAOS engine bound to an :class:`EngineSlot`."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        slot: EngineSlot,
+        engine_rank: int,
+    ):
+        self.sim = sim
+        self.slot = slot
+        self.spec = slot.spec
+        self.rank = engine_rank
+        self.name = f"engine:{engine_rank}"
+        self.server = RpcServer(fabric, slot.node.addr, self.name)
+        self.stats = Stats(sim)
+        #: pool shards: pool_uuid -> local target index -> VosPool
+        self.pools: Dict[str, Dict[int, VosPool]] = {}
+        self._credits: Dict[int, Semaphore] = {
+            t: Semaphore(sim, self.spec.target_inflight)
+            for t in range(self.spec.targets)
+        }
+        #: (pool, cont, oid, local_tid) pairs whose VOS trees exist — the
+        #: first array write to a pair pays tree creation.
+        self._trees_created: Set[Tuple] = set()
+        self._trees_warmed: Set[Tuple] = set()
+        self.up = True
+
+        register = self.server.register
+        register("cont_create", self._h_cont_create)
+        register("kv_update", self._h_kv_update)
+        register("kv_fetch", self._h_kv_fetch)
+        register("kv_punch", self._h_kv_punch)
+        register("list_dkeys", self._h_list_dkeys)
+        register("punch_dkey", self._h_punch_dkey)
+        register("punch_object", self._h_punch_object)
+        register("array_sizes", self._h_array_sizes)
+        register("array_punch", self._h_array_punch)
+
+    # ------------------------------------------------------------- shards
+    def create_pool_shards(self, pool_uuid: str, capacity_per_target: int) -> None:
+        if pool_uuid in self.pools:
+            return
+        self.pools[pool_uuid] = {
+            t: VosPool(pool_uuid, capacity_per_target)
+            for t in range(self.spec.targets)
+        }
+
+    def shard(self, pool_uuid: str, local_tid: int) -> VosPool:
+        try:
+            return self.pools[pool_uuid][local_tid]
+        except KeyError:
+            raise DerNonexist(
+                f"pool {pool_uuid} target {local_tid} on {self.name}"
+            ) from None
+
+    def container_shard(
+        self, pool_uuid: str, local_tid: int, cont_uuid: str
+    ) -> VosContainer:
+        return self.shard(pool_uuid, local_tid).open_container(cont_uuid)
+
+    def target_hw(self, local_tid: int) -> StorageTarget:
+        return self.slot.targets[local_tid]
+
+    # ------------------------------------------------------------- stream support
+    def tree_create_cost(
+        self, pool: str, cont: str, oid, local_tid: int, write: bool
+    ) -> float:
+        """First-writer (or first-reader) cost for an object's VOS tree on
+        a target; 0 afterwards. Called by the client I/O stream."""
+        key = (pool, cont, oid, local_tid)
+        if write:
+            if key in self._trees_created:
+                return 0.0
+            self._trees_created.add(key)
+            self._trees_warmed.add(key)
+            self.stats.incr("tree_creates")
+            return self.spec.shard_first_write_cost
+        if key in self._trees_warmed:
+            return 0.0
+        self._trees_warmed.add(key)
+        self.stats.incr("tree_warms")
+        return self.spec.shard_first_read_cost
+
+    # ------------------------------------------------------------- RPC timing
+    def _service(self, local_tid: int, media_ops: int = 1) -> Generator:
+        """Per-metadata-RPC engine work: credits + CPU + media latency."""
+        guard = yield from self._credits[local_tid].held()
+        try:
+            self.stats.incr("rpcs")
+            yield self.spec.per_rpc_cpu + media_ops * self.spec.module.access_latency
+        finally:
+            guard.release()
+
+    # ------------------------------------------------------------- handlers
+    def _h_cont_create(self, _src, pool: str, cont: str) -> Generator:
+        for local_tid, shard in self.pools.get(pool, {}).items():
+            if cont not in shard.containers:
+                shard.create_container(cont)
+        yield self.spec.per_rpc_cpu
+        return True
+
+    def _h_kv_update(
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, value
+    ) -> Generator:
+        yield from self._service(local_tid, media_ops=2)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.update_single(oid, dkey, akey, value)
+
+    def _h_kv_fetch(
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, epoch=None
+    ) -> Generator:
+        yield from self._service(local_tid)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.fetch_single(oid, dkey, akey, epoch)
+
+    def _h_kv_punch(
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey
+    ) -> Generator:
+        yield from self._service(local_tid, media_ops=2)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.punch_single(oid, dkey, akey)
+
+    def _h_list_dkeys(
+        self, _src, pool: str, cont: str, local_tid: int, oid, lo=None, hi=None,
+        limit: int = 1024,
+    ) -> Generator:
+        yield from self._service(local_tid)
+        vc = self.container_shard(pool, local_tid, cont)
+        out = []
+        for key in vc.list_dkeys(oid, lo, hi):
+            out.append(key)
+            if len(out) >= limit:
+                break
+        return out
+
+    def _h_punch_dkey(
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey
+    ) -> Generator:
+        yield from self._service(local_tid, media_ops=2)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.punch_dkey(oid, dkey)
+
+    def _h_punch_object(
+        self, _src, pool: str, cont: str, local_tid: int, oid
+    ) -> Generator:
+        yield from self._service(local_tid, media_ops=2)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.punch_object(oid)
+
+    def _h_array_sizes(
+        self, _src, pool: str, cont: str, local_tid: int, oid, akey
+    ) -> Generator:
+        yield from self._service(local_tid)
+        vc = self.container_shard(pool, local_tid, cont)
+        return list(vc.dkey_array_sizes(oid, akey))
+
+    def _h_array_punch(
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey,
+        offset: int, length: int,
+    ) -> Generator:
+        yield from self._service(local_tid, media_ops=2)
+        vc = self.container_shard(pool, local_tid, cont)
+        return vc.punch_array(oid, dkey, akey, offset, length)

@@ -1,0 +1,78 @@
+"""The libdaos flat KV API (``daos_kv_*``).
+
+A KV object maps string keys to values with no akey dimension — each key
+is a dkey with a single fixed akey underneath, exactly how libdaos
+implements it on top of the generic object layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.daos.objid import ObjId
+from repro.daos.object import ObjectHandle
+from repro.daos.oclass import ObjectClass
+from repro.errors import DerNonexist
+
+_KV_AKEY = b"\x00kv"
+_MISSING = object()
+
+
+class DaosKV:
+    """Open handle on a flat key-value object."""
+
+    def __init__(self, obj: ObjectHandle):
+        self.obj = obj
+
+    @classmethod
+    def create(cls, cont, oclass: Optional[ObjectClass] = None) -> Generator:
+        """Task helper: allocate a fresh KV object."""
+        oid = yield from cont.alloc_oid(oclass)
+        return cls(cont.open_object(oid))
+
+    @classmethod
+    def open(cls, cont, oid: ObjId) -> "DaosKV":
+        return cls(cont.open_object(oid))
+
+    @property
+    def oid(self) -> ObjId:
+        return self.obj.oid
+
+    def put(self, key: str, value: Any) -> Generator:
+        """Task helper: store ``value`` under ``key``."""
+        yield from self.obj.put(_encode(key), _KV_AKEY, value)
+        return None
+
+    def get(self, key: str, default: Any = _MISSING) -> Generator:
+        """Task helper: fetch ``key`` (raises DerNonexist without default)."""
+        try:
+            value = yield from self.obj.get(_encode(key), _KV_AKEY)
+        except DerNonexist:
+            if default is _MISSING:
+                raise
+            return default
+        return value
+
+    def remove(self, key: str) -> Generator:
+        """Task helper: delete ``key``; returns whether it existed."""
+        existed = yield from self.obj.punch(_encode(key), _KV_AKEY)
+        return existed
+
+    def list(self, prefix: str = "", limit: int = 1024) -> Generator:
+        """Task helper: sorted keys starting with ``prefix``."""
+        lo = _encode(prefix) if prefix else None
+        hi = None
+        if prefix:
+            raw = _encode(prefix)
+            hi = raw[:-1] + bytes([raw[-1] + 1]) if raw[-1] < 255 else None
+        keys = yield from self.obj.list_dkeys(lo, hi, limit)
+        return [k.decode("utf-8") for k in keys]
+
+    def close(self) -> None:
+        self.obj.close()
+
+
+def _encode(key: str) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    return key.encode("utf-8")

@@ -1,0 +1,537 @@
+"""Object handles: the dkey/akey KV interface and the byte-array interface.
+
+A :class:`ObjectHandle` is what ``daos_obj_open`` returns. Two families
+of operations are exposed, matching libdaos:
+
+- **KV** (single values): ``put``/``get``/``punch``/``list_dkeys`` route
+  each dkey to its layout group's targets via real engine RPCs (all
+  replicas updated on write, first live replica read). Directory
+  entries, inodes and mdtest storms travel this path.
+- **Array** (byte extents): ``write``/``read``/``size``/``punch_range``
+  chunk the byte range into ``chunk_size`` dkeys, fan the pieces out to
+  their shard targets, and charge time through the handle's
+  :class:`~repro.daos.stream.IoStream` (one per direction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.daos.objid import ObjId
+from repro.daos.placement import Layout
+from repro.daos.stream import IoPiece, IoStream
+from repro.daos.vos.payload import Payload, as_payload, concat_payloads
+from repro.errors import DerInval, DerNonexist
+from repro.units import MiB
+
+ARRAY_AKEY = b"\x00arr"
+DEFAULT_CHUNK = MiB
+
+
+class ObjectHandle:
+    """Open handle on one object within a container."""
+
+    def __init__(self, cont, oid: ObjId):
+        self.cont = cont  # ContainerHandle
+        self.client = cont.client
+        self.system = self.client.system
+        self.sim = self.client.sim
+        self.oid = oid
+        self.layout: Layout = cont.pool.placement.layout(oid)
+        self._streams: Dict[str, IoStream] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def _ctx(self) -> Tuple[str, str, ObjId]:
+        return (self.cont.pool.pool_map.uuid, self.cont.uuid, self.oid)
+
+    def _live_targets(self, tids: List[int]) -> List[int]:
+        excluded = self.cont.pool.pool_map.excluded
+        return [t for t in tids if t not in excluded]
+
+    def _vos(self, tid: int):
+        ref = self.system.target(tid)
+        return ref.engine.container_shard(
+            self.cont.pool.pool_map.uuid, ref.local_tid, self.cont.uuid
+        )
+
+    def _stream(self, direction: str) -> IoStream:
+        stream = self._streams.get(direction)
+        if stream is None:
+            targets = self._live_targets(self.layout.all_targets)
+            stream = IoStream(self.client, targets, direction)
+            stream.open()
+            self._streams[direction] = stream
+        return stream
+
+    def close(self) -> None:
+        for stream in self._streams.values():
+            stream.close()
+        self._streams.clear()
+        self._closed = True
+
+    # ------------------------------------------------------------- KV ops
+    def put(self, dkey, akey, value) -> Generator:
+        """Write a single value to every live replica of the dkey's group."""
+        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        if not targets:
+            raise DerNonexist(f"no live replica for dkey {dkey!r}")
+        epoch = None
+        for tid in targets:
+            ref = self.system.target(tid)
+            epoch = yield from self.client.rpc.call(
+                ref.engine.name,
+                "kv_update",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                    "dkey": dkey,
+                    "akey": akey,
+                    "value": value,
+                },
+            )
+        return epoch
+
+    def get(self, dkey, akey, epoch: Optional[int] = None) -> Generator:
+        """Read a single value from the first live replica."""
+        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        if not targets:
+            raise DerNonexist(f"no live replica for dkey {dkey!r}")
+        ref = self.system.target(targets[0])
+        value = yield from self.client.rpc.call(
+            ref.engine.name,
+            "kv_fetch",
+            {
+                "pool": self.cont.pool.pool_map.uuid,
+                "cont": self.cont.uuid,
+                "local_tid": ref.local_tid,
+                "oid": self.oid,
+                "dkey": dkey,
+                "akey": akey,
+                "epoch": epoch,
+            },
+        )
+        return value
+
+    def punch(self, dkey, akey) -> Generator:
+        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        existed = False
+        for tid in targets:
+            ref = self.system.target(tid)
+            existed = yield from self.client.rpc.call(
+                ref.engine.name,
+                "kv_punch",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                    "dkey": dkey,
+                    "akey": akey,
+                },
+            )
+        return existed
+
+    def punch_dkey(self, dkey) -> Generator:
+        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        existed = False
+        for tid in targets:
+            ref = self.system.target(tid)
+            existed = yield from self.client.rpc.call(
+                ref.engine.name,
+                "punch_dkey",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                    "dkey": dkey,
+                },
+            )
+        return existed
+
+    def list_dkeys(self, lo=None, hi=None, limit: int = 1024) -> Generator:
+        """Enumerate dkeys across all groups (merged, sorted)."""
+        merged: List = []
+        seen = set()
+        for group in self.layout.groups:
+            live = self._live_targets(group)
+            if not live:
+                raise DerNonexist("group fully excluded")
+            ref = self.system.target(live[0])
+            keys = yield from self.client.rpc.call(
+                ref.engine.name,
+                "list_dkeys",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                    "lo": lo,
+                    "hi": hi,
+                    "limit": limit,
+                },
+            )
+            for key in keys:
+                if key not in seen:
+                    seen.add(key)
+                    merged.append(key)
+        merged.sort()
+        return merged[:limit]
+
+    def punch_object(self) -> Generator:
+        """Remove the object's data from every live shard target."""
+        for tid in self._live_targets(self.layout.all_targets):
+            ref = self.system.target(tid)
+            yield from self.client.rpc.call(
+                ref.engine.name,
+                "punch_object",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                },
+            )
+        return True
+
+    # ------------------------------------------------------------- array ops
+    def _chunk_pieces_write(
+        self, offset: int, payload: Payload, chunk_size: int, akey: bytes
+    ) -> List[IoPiece]:
+        pieces: List[IoPiece] = []
+        cursor = 0
+        excluded = self.cont.pool.pool_map.excluded
+        ec = self.oid.oclass.is_ec
+        while cursor < payload.nbytes:
+            absolute = offset + cursor
+            chunk_idx = absolute // chunk_size
+            within = absolute % chunk_size
+            take = min(chunk_size - within, payload.nbytes - cursor)
+            fragment = payload.slice(cursor, cursor + take)
+            if ec:
+                pieces.extend(
+                    self._ec_write_pieces(
+                        chunk_idx, within, fragment, chunk_size, akey
+                    )
+                )
+            else:
+                for tid in self.layout.targets_for_dkey(chunk_idx):
+                    if tid in excluded:
+                        continue
+                    vc = self._vos(tid)
+                    pieces.append(
+                        IoPiece(
+                            tid,
+                            take,
+                            lambda vc=vc, ci=chunk_idx, w=within, f=fragment: (
+                                vc.update_array(self.oid, ci, akey, w, f)
+                            ),
+                        )
+                    )
+            cursor += take
+        return pieces
+
+    # ------------------------------------------------------------- erasure coding
+    def _ec_geometry(self, chunk_size: int):
+        oclass = self.oid.oclass
+        if chunk_size % oclass.ec_k:
+            raise DerInval(
+                f"chunk size {chunk_size} not divisible by ec_k={oclass.ec_k}"
+            )
+        return oclass.ec_k, oclass.ec_p, chunk_size // oclass.ec_k
+
+    def _ec_write_pieces(
+        self, chunk_idx: int, within: int, fragment: Payload,
+        chunk_size: int, akey: bytes,
+    ) -> List[IoPiece]:
+        """Full-stripe erasure-coded write of one chunk.
+
+        DAOS buffers partial EC writes in a replicated staging space and
+        migrates them at aggregation time; this reproduction requires
+        stripe-aligned writes outright (IOR with transfer >= chunk size
+        satisfies it) — DESIGN.md §5.
+        """
+        from repro.daos.vos.payload import XorPayload, ZeroPayload, concat_payloads
+
+        k, p, cell_len = self._ec_geometry(chunk_size)
+        if within != 0:
+            raise DerInval(
+                "erasure-coded objects require stripe-aligned writes "
+                f"(offset within chunk = {within})"
+            )
+        group = self.layout.targets_for_dkey(chunk_idx)
+        excluded = self.cont.pool.pool_map.excluded
+        cells: List[Payload] = []
+        for ci in range(k):
+            lo = min(ci * cell_len, fragment.nbytes)
+            hi = min((ci + 1) * cell_len, fragment.nbytes)
+            cells.append(fragment.slice(lo, hi))
+        # parity is computed over zero-padded cells of the stripe
+        pad_len = cells[0].nbytes
+        padded = [
+            c if c.nbytes == pad_len
+            else concat_payloads([c, ZeroPayload(pad_len - c.nbytes)])
+            for c in cells
+        ]
+        parity = XorPayload(padded) if pad_len else None
+        pieces: List[IoPiece] = []
+        for ci, cell in enumerate(cells):
+            if cell.nbytes == 0:
+                continue
+            tid = group[ci]
+            if tid in excluded:
+                continue  # will be reconstructed from parity on read
+            vc = self._vos(tid)
+            pieces.append(
+                IoPiece(
+                    tid,
+                    cell.nbytes,
+                    lambda vc=vc, cidx=chunk_idx, c=cell: (
+                        vc.update_array(self.oid, cidx, akey, 0, c)
+                    ),
+                )
+            )
+        if parity is not None:
+            for pi in range(p):
+                tid = group[k + pi]
+                if tid in excluded:
+                    continue
+                vc = self._vos(tid)
+                pieces.append(
+                    IoPiece(
+                        tid,
+                        parity.nbytes,
+                        lambda vc=vc, cidx=chunk_idx, pp=parity: (
+                            vc.update_array(self.oid, cidx, akey, 0, pp)
+                        ),
+                    )
+                )
+        if not pieces:
+            raise DerNonexist("EC group fully excluded")
+        return pieces
+
+    def _ec_read_pieces(
+        self, chunk_idx: int, within: int, take: int,
+        chunk_size: int, akey: bytes,
+    ) -> List[Tuple[List[IoPiece], object]]:
+        """Plan an EC chunk read: per touched cell, either a direct piece
+        or a degraded-reconstruction piece set with a combiner."""
+        from repro.daos.vos.payload import XorPayload
+
+        k, p, cell_len = self._ec_geometry(chunk_size)
+        group = self.layout.targets_for_dkey(chunk_idx)
+        excluded = self.cont.pool.pool_map.excluded
+        plan = []
+        cursor = within
+        stop = within + take
+        while cursor < stop:
+            ci = cursor // cell_len
+            cell_off = cursor % cell_len
+            cell_take = min(cell_len - cell_off, stop - cursor)
+            tid = group[ci]
+            if tid not in excluded:
+                vc = self._vos(tid)
+                piece = IoPiece(
+                    tid,
+                    cell_take,
+                    lambda vc=vc, cidx=chunk_idx, o=cell_off, n=cell_take: (
+                        vc.fetch_array(self.oid, cidx, akey, o, n)
+                    ),
+                )
+                plan.append(([piece], None))
+            else:
+                # degraded: XOR of parity and the k-1 surviving data cells
+                survivors = [
+                    group[other] for other in range(k) if other != ci
+                ]
+                parity_live = [
+                    group[k + pi] for pi in range(p)
+                    if group[k + pi] not in excluded
+                ]
+                if not parity_live or any(
+                    t in excluded for t in survivors
+                ):
+                    raise DerNonexist(
+                        f"chunk {chunk_idx} cell {ci}: too many failures "
+                        "for EC reconstruction"
+                    )
+                sources = survivors + parity_live[:1]
+                pieces = []
+                for src in sources:
+                    vc = self._vos(src)
+                    pieces.append(
+                        IoPiece(
+                            src,
+                            cell_take,
+                            lambda vc=vc, cidx=chunk_idx, o=cell_off,
+                            n=cell_take: (
+                                vc.fetch_array(self.oid, cidx, akey, o, n)
+                            ),
+                        )
+                    )
+                plan.append((pieces, XorPayload))
+            cursor += cell_take
+        return plan
+
+    def write(
+        self,
+        offset: int,
+        data,
+        chunk_size: int = DEFAULT_CHUNK,
+        akey: bytes = ARRAY_AKEY,
+    ) -> Generator:
+        """Task helper: write ``data`` at byte ``offset``; returns nbytes."""
+        payload = as_payload(data)
+        if payload.nbytes == 0:
+            return 0
+        pieces = self._chunk_pieces_write(offset, payload, chunk_size, akey)
+        if not pieces:
+            raise DerNonexist("all replicas excluded")
+        yield from self._stream("write").io(pieces, self._ctx)
+        return payload.nbytes
+
+    def read(
+        self,
+        offset: int,
+        length: int,
+        chunk_size: int = DEFAULT_CHUNK,
+        akey: bytes = ARRAY_AKEY,
+    ) -> Generator:
+        """Task helper: read ``length`` bytes (holes zero-filled)."""
+        if length <= 0:
+            return as_payload(b"")
+        excluded = self.cont.pool.pool_map.excluded
+        ec = self.oid.oclass.is_ec
+        #: list of (pieces, combine): combine=None yields pieces[0]'s
+        #: result; otherwise combine(results) reconstructs the fragment
+        plan: List = []
+        cursor = offset
+        stop = offset + length
+        while cursor < stop:
+            chunk_idx = cursor // chunk_size
+            within = cursor % chunk_size
+            take = min(chunk_size - within, stop - cursor)
+            if ec:
+                plan.extend(
+                    self._ec_read_pieces(
+                        chunk_idx, within, take, chunk_size, akey
+                    )
+                )
+            else:
+                live = [
+                    t
+                    for t in self.layout.targets_for_dkey(chunk_idx)
+                    if t not in excluded
+                ]
+                if not live:
+                    raise DerNonexist(
+                        f"chunk {chunk_idx}: all replicas excluded"
+                    )
+                tid = live[0]
+                vc = self._vos(tid)
+                piece = IoPiece(
+                    tid,
+                    take,
+                    lambda vc=vc, ci=chunk_idx, w=within, n=take: (
+                        vc.fetch_array(self.oid, ci, akey, w, n)
+                    ),
+                )
+                plan.append(([piece], None))
+            cursor += take
+        flat: List[IoPiece] = [p for pieces, _c in plan for p in pieces]
+        results = yield from self._stream("read").io(flat, self._ctx)
+        out: List[Payload] = []
+        index = 0
+        for pieces, combine in plan:
+            batch = results[index : index + len(pieces)]
+            index += len(pieces)
+            out.append(batch[0] if combine is None else combine(batch))
+        return concat_payloads(out)
+
+    def size(self, chunk_size: int = DEFAULT_CHUNK,
+             akey: bytes = ARRAY_AKEY) -> Generator:
+        """Task helper: apparent array size (max written byte + 1).
+
+        Non-EC: a size query per layout group leader. EC: a query per
+        live *data* shard (cell positions map back to file offsets)."""
+        oclass = self.oid.oclass
+        high = 0
+        for group in self.layout.groups:
+            if oclass.is_ec:
+                _k, _p, cell_len = self._ec_geometry(chunk_size)
+                queried = [
+                    (ci, tid)
+                    for ci, tid in enumerate(group[: oclass.ec_k])
+                    if tid not in self.cont.pool.pool_map.excluded
+                ]
+                if not queried:
+                    raise DerNonexist("all data shards excluded")
+            else:
+                live = self._live_targets(group)
+                if not live:
+                    raise DerNonexist("group fully excluded")
+                queried = [(None, live[0])]
+            for cell_idx, tid in queried:
+                ref = self.system.target(tid)
+                sizes = yield from self.client.rpc.call(
+                    ref.engine.name,
+                    "array_sizes",
+                    {
+                        "pool": self.cont.pool.pool_map.uuid,
+                        "cont": self.cont.uuid,
+                        "local_tid": ref.local_tid,
+                        "oid": self.oid,
+                        "akey": akey,
+                    },
+                )
+                for chunk_idx, size in sizes:
+                    if cell_idx is None:
+                        high = max(high, chunk_idx * chunk_size + size)
+                    else:
+                        high = max(
+                            high,
+                            chunk_idx * chunk_size
+                            + cell_idx * cell_len
+                            + size,
+                        )
+        return high
+
+    def punch_range(
+        self,
+        offset: int,
+        length: int,
+        chunk_size: int = DEFAULT_CHUNK,
+        akey: bytes = ARRAY_AKEY,
+    ) -> Generator:
+        """Task helper: punch bytes [offset, offset+length)."""
+        cursor = offset
+        stop = offset + length
+        freed = 0
+        while cursor < stop:
+            chunk_idx = cursor // chunk_size
+            within = cursor % chunk_size
+            take = min(chunk_size - within, stop - cursor)
+            for tid in self._live_targets(
+                self.layout.targets_for_dkey(chunk_idx)
+            ):
+                ref = self.system.target(tid)
+                freed = yield from self.client.rpc.call(
+                    ref.engine.name,
+                    "array_punch",
+                    {
+                        "pool": self.cont.pool.pool_map.uuid,
+                        "cont": self.cont.uuid,
+                        "local_tid": ref.local_tid,
+                        "oid": self.oid,
+                        "dkey": chunk_idx,
+                        "akey": akey,
+                        "offset": within,
+                        "length": take,
+                    },
+                )
+            cursor += take
+        return freed

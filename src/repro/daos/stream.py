@@ -1,0 +1,148 @@
+"""Client-side bulk I/O streams.
+
+An :class:`IoStream` is the timing vehicle for array reads/writes: one
+fluid-network flow per (object handle, direction), crossing the client
+NIC, each touched server NIC, each engine media channel and each target
+service link with consumption weights proportional to the fraction of
+traffic headed there (uniform across the object's layout targets). Each
+I/O operation then charges:
+
+    per-op overhead  (client CPU + RPC round trip + engine CPU
+                      + first-writer VOS tree creation, the widest piece
+                      when chunks fan out in parallel)
+  + bulk time        (bytes moved through the flow at its fair-share rate)
+
+and finally applies the real VOS mutations/reads. Keeping the flow open
+across ops is what makes a 64 MiB block write cost two heap events per
+transfer instead of a global reallocation per transfer — the key to
+simulating hundreds of concurrent IOR processes in reasonable wall time.
+
+Approximation (documented in DESIGN.md §5): the flow reserves its share
+for the duration of the op including the overhead portion, so highly
+overhead-dominated streams slightly over-reserve bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import DerNonexist, NetworkError
+from repro.network.flows import Flow
+
+
+class IoPiece:
+    """One chunk-shard piece of an I/O op."""
+
+    __slots__ = ("tid", "nbytes", "apply_fn")
+
+    def __init__(self, tid: int, nbytes: int, apply_fn: Callable[[], object]):
+        self.tid = tid
+        self.nbytes = nbytes
+        self.apply_fn = apply_fn
+
+
+class IoStream:
+    """A registered bulk-I/O session toward a fixed set of targets."""
+
+    def __init__(self, client, targets: Sequence[int], direction: str):
+        if direction not in ("read", "write"):
+            raise ValueError(f"bad direction {direction!r}")
+        if not targets:
+            raise DerNonexist("stream has no targets (all excluded?)")
+        self.client = client
+        self.system = client.system
+        self.sim = client.sim
+        self.direction = direction
+        self.targets = list(targets)
+        self._flow: Optional[Flow] = None
+        self._last_target: Optional[int] = None
+
+    # ------------------------------------------------------------- lifecycle
+    def open(self) -> None:
+        if self._flow is not None:
+            return
+        fabric = self.client.fabric
+        node = self.client.node
+        weight = 1.0 / len(self.targets)
+        per_link: Dict[object, float] = defaultdict(float)
+        if self.direction == "write":
+            per_link[fabric.nic_tx(node.addr)] += 1.0
+        else:
+            per_link[fabric.nic_rx(node.addr)] += 1.0
+        for tid in self.targets:
+            ref = self.system.target(tid)
+            hw = ref.hw
+            server_addr = ref.engine.slot.node.addr
+            if self.direction == "write":
+                per_link[fabric.nic_rx(server_addr)] += weight
+                per_link[ref.engine.slot.media_write] += weight
+                per_link[hw.write_link] += weight
+            else:
+                per_link[fabric.nic_tx(server_addr)] += weight
+                per_link[ref.engine.slot.media_read] += weight
+                per_link[hw.read_link] += weight
+        self._flow = fabric.flownet.open(
+            list(per_link.items()),
+            label=f"{self.client.name}:{self.direction}",
+        )
+
+    def close(self) -> None:
+        if self._flow is not None:
+            self.client.fabric.flownet.close(self._flow)
+            self._flow = None
+
+    @property
+    def rate(self) -> float:
+        return self._flow.rate if self._flow is not None else 0.0
+
+    # ------------------------------------------------------------- one op
+    def io(self, pieces: List[IoPiece], context) -> Generator:
+        """Task helper: perform one I/O op made of parallel pieces.
+
+        ``context`` is the (pool, cont, oid) tuple used for first-writer
+        tree accounting. Returns the list of piece results in order.
+        """
+        if self._flow is None:
+            self.open()
+        fabric = self.client.fabric
+        node_spec = self.client.node.spec
+        rtt = 2.0 * (fabric.base_latency + 2 * fabric.software_overhead)
+        write = self.direction == "write"
+        pool, cont, oid = context
+
+        overhead = node_spec.client_cpu_per_op
+        widest = 0.0
+        seen = set()
+        for piece in pieces:
+            ref = self.system.target(piece.tid)
+            cost = ref.engine.spec.per_rpc_cpu
+            if piece.tid not in seen:
+                seen.add(piece.tid)
+                cost += rtt
+                cost += ref.engine.tree_create_cost(
+                    pool, cont, oid, ref.local_tid, write
+                )
+            widest = max(widest, cost)
+        overhead += widest
+        # Lost per-target locality when the stream hops targets between
+        # consecutive ops AND spans more targets than the per-handle
+        # session cache covers (SX pays this almost every op; S1..S4 never).
+        primary = pieces[0].tid if pieces else None
+        if primary is not None:
+            ref = self.system.target(primary)
+            spec = ref.engine.spec
+            if (
+                len(self.targets) > spec.locality_window
+                and self._last_target is not None
+                and primary != self._last_target
+            ):
+                overhead += spec.target_switch_cost
+            self._last_target = primary
+
+        total = sum(p.nbytes for p in pieces)
+        if overhead > 0:
+            yield overhead
+        if total > 0:
+            yield self._flow.transfer(total)
+        return [piece.apply_fn() for piece in pieces]

@@ -1,0 +1,196 @@
+"""A running DAOS system: engines + the Raft-backed management service.
+
+``DaosSystem`` wires the hardware model to the software stack:
+
+- one :class:`~repro.daos.engine.Engine` per engine slot of every server
+  node, each with a global engine rank and a global-target-id range;
+- a :class:`~repro.consensus.rsvc.ReplicatedService` (Raft over the
+  simulated fabric) holding pool and container metadata — pool maps,
+  container properties, OID allocator counters — the equivalent of the
+  DAOS pool/container service replicas;
+- pool lifecycle: :meth:`create_pool` creates per-target VOS shards on
+  every engine and publishes the pool map through Raft.
+
+Global target ids: engine ``e``'s local target ``t`` has
+``tid = e * targets_per_engine + t``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.consensus.rsvc import ReplicatedService, RsvcClient
+from repro.daos.engine import Engine
+from repro.errors import DerExist, DerInval, DerNonexist
+from repro.hardware.node import ServerNode, StorageTarget
+from repro.network.fabric import Fabric
+from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
+from repro.units import GiB
+
+
+@dataclass
+class TargetRef:
+    """Resolution of a global target id."""
+
+    tid: int
+    engine: Engine
+    local_tid: int
+
+    @property
+    def hw(self) -> StorageTarget:
+        return self.engine.target_hw(self.local_tid)
+
+
+@dataclass
+class PoolMap:
+    """Client-visible pool composition (a simplified DAOS pool map)."""
+
+    uuid: str
+    label: str
+    n_targets: int
+    capacity_per_target: int
+    version: int = 1
+    #: target ids currently excluded (failed/administratively down)
+    excluded: frozenset = frozenset()
+
+    @property
+    def up_targets(self) -> List[int]:
+        return [t for t in range(self.n_targets) if t not in self.excluded]
+
+
+class DaosSystem:
+    """Engines + management service over a set of server nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        server_nodes: List[ServerNode],
+        rng: Optional[RngStreams] = None,
+        svc_replicas: int = 3,
+    ):
+        if not server_nodes:
+            raise DerInval("DAOS system needs server nodes")
+        self.sim = sim
+        self.fabric = fabric
+        self.rng = rng or RngStreams()
+        self.server_nodes = server_nodes
+        self.engines: List[Engine] = []
+        for node in server_nodes:
+            for slot in node.engines:
+                self.engines.append(Engine(sim, fabric, slot, len(self.engines)))
+        self.targets_per_engine = self.engines[0].spec.targets
+        self.targets: List[TargetRef] = []
+        for engine in self.engines:
+            for local_tid in range(engine.spec.targets):
+                self.targets.append(
+                    TargetRef(len(self.targets), engine, local_tid)
+                )
+        n_svc = min(svc_replicas, len(server_nodes))
+        self.svc = ReplicatedService(
+            sim,
+            fabric,
+            [node.addr for node in server_nodes[:n_svc]],
+            rng=self.rng,
+        )
+        self._uuid_seq = itertools.count(1)
+        self._pool_maps: Dict[str, PoolMap] = {}
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def n_targets(self) -> int:
+        return len(self.targets)
+
+    def target(self, tid: int) -> TargetRef:
+        try:
+            return self.targets[tid]
+        except IndexError:
+            raise DerNonexist(f"target {tid}") from None
+
+    def rsvc_client(self) -> RsvcClient:
+        return RsvcClient(self.svc)
+
+    def _new_uuid(self, kind: str) -> str:
+        return f"{kind}-{next(self._uuid_seq):08x}"
+
+    # ------------------------------------------------------------- pool lifecycle
+    def create_pool(
+        self,
+        label: str,
+        capacity_per_target: int = 64 * GiB,
+        rsvc: Optional[RsvcClient] = None,
+    ) -> Generator:
+        """Task helper: create a pool across every engine; returns its
+        :class:`PoolMap`."""
+        rsvc = rsvc or self.rsvc_client()
+        uuid = self._new_uuid("pool")
+        created = yield from rsvc.invoke(
+            ("cas", f"pool-label:{label}", None, uuid)
+        )
+        if not created:
+            raise DerExist(f"pool label {label!r}")
+        for engine in self.engines:
+            engine.create_pool_shards(uuid, capacity_per_target)
+        pool_map = PoolMap(
+            uuid=uuid,
+            label=label,
+            n_targets=self.n_targets,
+            capacity_per_target=capacity_per_target,
+        )
+        yield from rsvc.invoke(
+            (
+                "put",
+                f"pool:{uuid}",
+                {
+                    "label": label,
+                    "n_targets": pool_map.n_targets,
+                    "capacity_per_target": capacity_per_target,
+                    "version": pool_map.version,
+                    "excluded": [],
+                },
+            )
+        )
+        self._pool_maps[uuid] = pool_map
+        return pool_map
+
+    def resolve_pool(self, label: str, rsvc: RsvcClient) -> Generator:
+        """Task helper: label → :class:`PoolMap` via the metadata service."""
+        uuid = yield from rsvc.invoke(("get", f"pool-label:{label}"))
+        if uuid is None:
+            raise DerNonexist(f"pool label {label!r}")
+        record = yield from rsvc.invoke(("get", f"pool:{uuid}"))
+        return PoolMap(
+            uuid=uuid,
+            label=record["label"],
+            n_targets=record["n_targets"],
+            capacity_per_target=record["capacity_per_target"],
+            version=record["version"],
+            excluded=frozenset(record["excluded"]),
+        )
+
+    def exclude_target(self, pool_uuid: str, tid: int, rsvc=None) -> Generator:
+        """Task helper: mark a target DOWN in the pool map (no rebuild —
+        replicated classes keep serving from surviving replicas)."""
+        rsvc = rsvc or self.rsvc_client()
+        record = yield from rsvc.invoke(("get", f"pool:{pool_uuid}"))
+        if record is None:
+            raise DerNonexist(f"pool {pool_uuid}")
+        excluded = set(record["excluded"])
+        excluded.add(tid)
+        record = dict(record, excluded=sorted(excluded),
+                      version=record["version"] + 1)
+        yield from rsvc.invoke(("put", f"pool:{pool_uuid}", record))
+        cached = self._pool_maps.get(pool_uuid)
+        if cached is not None:
+            cached.excluded = frozenset(excluded)
+            cached.version = record["version"]
+        return record["version"]
+
+    # ------------------------------------------------------------- test/bench drive
+    def run_task(self, gen, limit: float = 1e9):
+        """Spawn a task and drive the simulation to its completion."""
+        task = self.sim.spawn(gen)
+        return self.sim.run_until_complete(task, limit=limit)

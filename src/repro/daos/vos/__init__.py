@@ -1,0 +1,35 @@
+"""VOS — the Versioned Object Store held by every DAOS target.
+
+Mirrors the real VOS hierarchy: pool shard → container shard → object →
+dkey B+-tree → akey B+-tree → single value (with epoch history) or byte
+extent tree. Payloads can be real bytes or lazily-generated patterns so
+that TiB-scale benchmarks never materialize their data.
+"""
+
+from repro.daos.vos.payload import (
+    BytesPayload,
+    Payload,
+    PatternPayload,
+    ZeroPayload,
+    as_payload,
+    concat_payloads,
+)
+from repro.daos.vos.btree import BPlusTree
+from repro.daos.vos.extent import Extent, ExtentTree
+from repro.daos.vos.container import VosContainer, VosObject
+from repro.daos.vos.pool import VosPool
+
+__all__ = [
+    "Payload",
+    "BytesPayload",
+    "PatternPayload",
+    "ZeroPayload",
+    "as_payload",
+    "concat_payloads",
+    "BPlusTree",
+    "Extent",
+    "ExtentTree",
+    "VosContainer",
+    "VosObject",
+    "VosPool",
+]

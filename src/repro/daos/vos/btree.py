@@ -1,0 +1,308 @@
+"""B+-tree — the ordered key index used throughout VOS.
+
+Real VOS keeps dkeys, akeys and container/object tables in btrees stored
+in persistent memory; ordered traversal is what makes ``readdir``,
+key enumeration and chunk iteration cheap. This is a textbook in-memory
+B+-tree: values live only in leaves, leaves are chained for range scans,
+and deletion rebalances by borrowing from or merging with siblings.
+
+Keys may be any mutually-comparable Python values (bytes, str, int,
+tuples); a tree is homogeneous in practice because each VOS tree level
+uses one key type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.next: Optional["_Leaf"] = None
+
+    is_leaf = True
+
+
+class _Inner:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < keys[i]; children[-1] covers the rest
+        self.keys: List[Any] = []
+        self.children: List[Any] = []
+
+    is_leaf = False
+
+
+def _find_child(node: _Inner, key: Any) -> int:
+    """Index of the child subtree that should contain ``key``."""
+    keys = node.keys
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if key < keys[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _leaf_pos(leaf: _Leaf, key: Any) -> Tuple[int, bool]:
+    """(index, found) for ``key`` within a leaf."""
+    keys = leaf.keys
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo, lo < len(keys) and keys[lo] == key
+
+
+class BPlusTree:
+    """Ordered mapping with O(log n) point ops and O(k) range scans."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 4:
+            raise ValueError("capacity must be >= 4")
+        self._cap = capacity
+        self._min = capacity // 2
+        self._root: Any = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # ------------------------------------------------------------- lookup
+    def get(self, key: Any, default: Any = None) -> Any:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[_find_child(node, key)]
+        idx, found = _leaf_pos(node, key)
+        return node.values[idx] if found else default
+
+    # ------------------------------------------------------------- insert
+    def insert(self, key: Any, value: Any) -> bool:
+        """Insert or replace; returns True if the key was new."""
+        result = self._insert(self._root, key, value)
+        if result is not None:
+            sep, right = result
+            root = _Inner()
+            root.keys = [sep]
+            root.children = [self._root, right]
+            self._root = root
+        return self._last_insert_was_new
+
+    def _insert(self, node: Any, key: Any, value: Any):
+        if node.is_leaf:
+            idx, found = _leaf_pos(node, key)
+            if found:
+                node.values[idx] = value
+                self._last_insert_was_new = False
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            self._last_insert_was_new = True
+            if len(node.keys) > self._cap:
+                return self._split_leaf(node)
+            return None
+        child_idx = _find_child(node, key)
+        result = self._insert(node.children[child_idx], key, value)
+        if result is None:
+            return None
+        sep, right = result
+        node.keys.insert(child_idx, sep)
+        node.children.insert(child_idx + 1, right)
+        if len(node.keys) > self._cap:
+            return self._split_inner(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        del leaf.keys[mid:]
+        del leaf.values[mid:]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_inner(self, node: _Inner):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Inner()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        del node.keys[mid:]
+        del node.children[mid + 1 :]
+        return sep, right
+
+    # ------------------------------------------------------------- delete
+    def delete(self, key: Any) -> bool:
+        """Remove ``key``; returns True if it existed."""
+        existed = self._delete(self._root, key)
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        return existed
+
+    def _delete(self, node: Any, key: Any) -> bool:
+        if node.is_leaf:
+            idx, found = _leaf_pos(node, key)
+            if not found:
+                return False
+            del node.keys[idx]
+            del node.values[idx]
+            self._size -= 1
+            return True
+        child_idx = _find_child(node, key)
+        child = node.children[child_idx]
+        existed = self._delete(child, key)
+        if existed:
+            underfull = (
+                len(child.keys) < self._min
+                if child.is_leaf
+                else len(child.children) < self._min
+            )
+            if underfull:
+                self._rebalance(node, child_idx)
+        return existed
+
+    def _rebalance(self, parent: _Inner, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        if child.is_leaf:
+            if left is not None and len(left.keys) > self._min:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[idx - 1] = child.keys[0]
+            elif right is not None and len(right.keys) > self._min:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[idx] = right.keys[0]
+            elif left is not None:
+                left.keys.extend(child.keys)
+                left.values.extend(child.values)
+                left.next = child.next
+                del parent.children[idx]
+                del parent.keys[idx - 1]
+            elif right is not None:
+                child.keys.extend(right.keys)
+                child.values.extend(right.values)
+                child.next = right.next
+                del parent.children[idx + 1]
+                del parent.keys[idx]
+        else:
+            if left is not None and len(left.children) > self._min:
+                child.keys.insert(0, parent.keys[idx - 1])
+                parent.keys[idx - 1] = left.keys.pop()
+                child.children.insert(0, left.children.pop())
+            elif right is not None and len(right.children) > self._min:
+                child.keys.append(parent.keys[idx])
+                parent.keys[idx] = right.keys.pop(0)
+                child.children.append(right.children.pop(0))
+            elif left is not None:
+                left.keys.append(parent.keys[idx - 1])
+                left.keys.extend(child.keys)
+                left.children.extend(child.children)
+                del parent.children[idx]
+                del parent.keys[idx - 1]
+            elif right is not None:
+                child.keys.append(parent.keys[idx])
+                child.keys.extend(right.keys)
+                child.children.extend(right.children)
+                del parent.children[idx + 1]
+                del parent.keys[idx]
+
+    # ------------------------------------------------------------- scans
+    def _first_leaf(self) -> _Leaf:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(
+        self, lo: Any = None, hi: Any = None
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield (key, value) in key order for lo <= key < hi."""
+        if lo is None:
+            leaf, idx = self._first_leaf(), 0
+        else:
+            node = self._root
+            while not node.is_leaf:
+                node = node.children[_find_child(node, lo)]
+            leaf = node
+            idx, _ = _leaf_pos(leaf, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if hi is not None and not (key < hi):
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def keys(self, lo: Any = None, hi: Any = None) -> Iterator[Any]:
+        for key, _ in self.items(lo, hi):
+            yield key
+
+    def min_key(self) -> Any:
+        if self._size == 0:
+            raise KeyError("empty tree")
+        return self._first_leaf().keys[0]
+
+    def max_key(self) -> Any:
+        if self._size == 0:
+            raise KeyError("empty tree")
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------- invariants
+    def check_invariants(self) -> None:
+        """Raise AssertionError if structural invariants are violated.
+
+        Used by the property tests: key ordering, node fill bounds,
+        uniform leaf depth, and leaf-chain completeness.
+        """
+        depths = set()
+
+        def walk(node: Any, depth: int, lo: Any, hi: Any) -> None:
+            if node.is_leaf:
+                depths.add(depth)
+                assert node.keys == sorted(node.keys)
+                for key in node.keys:
+                    assert lo is None or not (key < lo)
+                    assert hi is None or key < hi
+                if node is not self._root:
+                    assert len(node.keys) >= self._min
+                assert len(node.keys) <= self._cap
+                return
+            assert len(node.children) == len(node.keys) + 1
+            if node is not self._root:
+                assert len(node.children) >= self._min
+            assert len(node.keys) <= self._cap
+            bounds = [lo] + node.keys + [hi]
+            for i, child in enumerate(node.children):
+                walk(child, depth + 1, bounds[i], bounds[i + 1])
+
+        walk(self._root, 0, None, None)
+        assert len(depths) <= 1
+        chained = sum(1 for _ in self.items())
+        assert chained == self._size
+
+
+_MISSING = object()

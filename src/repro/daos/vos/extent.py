@@ -1,0 +1,161 @@
+"""Byte-granular extent tree — VOS array values (evtree equivalent).
+
+Holds the *visible* view of an array akey: a set of non-overlapping
+extents sorted by offset, each carrying its payload and the epoch of the
+write that produced it. A new write overlays the existing view
+(last-writer-wins at the byte level, which is exactly DAOS semantics for
+overlapping epochs resolved by commit order). Reads return fragments and
+zero-fill holes inside the requested range.
+
+Unlike the real evtree we do not retain superseded versions (no
+snapshot-at-epoch reads on arrays); the KV layer keeps epoch history
+instead — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.daos.vos.payload import Payload, ZeroPayload, as_payload, concat_payloads
+
+
+@dataclass
+class Extent:
+    """A contiguous written region [offset, offset + length)."""
+
+    offset: int
+    payload: Payload
+    epoch: int
+
+    @property
+    def length(self) -> int:
+        return self.payload.nbytes
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.payload.nbytes
+
+
+class ExtentTree:
+    """Non-overlapping extents ordered by offset."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._extents: List[Extent] = []
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    @property
+    def size(self) -> int:
+        """Highest written offset + 1 (i.e. the array's apparent size)."""
+        return self._extents[-1].end if self._extents else 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(e.length for e in self._extents)
+
+    # ------------------------------------------------------------- write
+    def write(self, offset: int, data, epoch: int) -> int:
+        """Overlay ``data`` at ``offset``; returns bytes newly consumed
+        (for capacity accounting — overwritten bytes are reclaimed)."""
+        payload = as_payload(data)
+        if payload.nbytes == 0:
+            return 0
+        if offset < 0:
+            raise ValueError("negative offset")
+        new = Extent(offset, payload, epoch)
+        freed = self._punch_range(offset, offset + payload.nbytes)
+        idx = bisect.bisect_left(self._starts, offset)
+        self._starts.insert(idx, offset)
+        self._extents.insert(idx, new)
+        return payload.nbytes - freed
+
+    def punch(self, offset: int, length: int) -> int:
+        """Remove [offset, offset+length); returns bytes freed."""
+        if length <= 0:
+            return 0
+        return self._punch_range(offset, offset + length)
+
+    def _punch_range(self, start: int, stop: int) -> int:
+        """Trim/split existing extents overlapping [start, stop)."""
+        freed = 0
+        idx = bisect.bisect_left(self._starts, start)
+        # the previous extent may straddle ``start``
+        if idx > 0 and self._extents[idx - 1].end > start:
+            idx -= 1
+        while idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.offset >= stop:
+                break
+            overlap_start = max(ext.offset, start)
+            overlap_stop = min(ext.end, stop)
+            freed += overlap_stop - overlap_start
+            left = None
+            right = None
+            if ext.offset < start:
+                left = Extent(
+                    ext.offset,
+                    ext.payload.slice(0, start - ext.offset),
+                    ext.epoch,
+                )
+            if ext.end > stop:
+                right = Extent(
+                    stop,
+                    ext.payload.slice(stop - ext.offset, ext.length),
+                    ext.epoch,
+                )
+            del self._starts[idx]
+            del self._extents[idx]
+            for piece in (left, right):
+                if piece is not None:
+                    self._starts.insert(idx, piece.offset)
+                    self._extents.insert(idx, piece)
+                    idx += 1
+        return freed
+
+    # ------------------------------------------------------------- read
+    def read(self, offset: int, length: int) -> Payload:
+        """Payload for [offset, offset+length); holes read as zeros.
+
+        The caller decides how to treat reads past the apparent size
+        (the POSIX layers clamp to the file size held in the inode).
+        """
+        if length <= 0:
+            return as_payload(b"")
+        parts: List[Payload] = []
+        cursor = offset
+        stop = offset + length
+        idx = bisect.bisect_left(self._starts, offset)
+        if idx > 0 and self._extents[idx - 1].end > offset:
+            idx -= 1
+        while cursor < stop and idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.offset >= stop:
+                break
+            if ext.offset > cursor:
+                parts.append(ZeroPayload(ext.offset - cursor))
+                cursor = ext.offset
+            begin = cursor - ext.offset
+            end = min(ext.end, stop) - ext.offset
+            parts.append(ext.payload.slice(begin, end))
+            cursor = ext.offset + end
+            idx += 1
+        if cursor < stop:
+            parts.append(ZeroPayload(stop - cursor))
+        return concat_payloads(parts)
+
+    # ------------------------------------------------------------- checks
+    def check_invariants(self) -> None:
+        prev_end = -1
+        for start, ext in zip(self._starts, self._extents):
+            assert start == ext.offset
+            assert ext.length > 0
+            assert ext.offset >= 0
+            assert ext.offset >= prev_end, "extents overlap"
+            prev_end = ext.end

@@ -1,0 +1,16 @@
+"""DFS — the DAOS File System (``libdfs``).
+
+A POSIX-like namespace encoded in DAOS objects, faithful to the real
+layout: a reserved superblock KV object, directories as KV objects whose
+dkeys are entry names and whose values are inode records (type, OID,
+chunk size), and regular files as byte-array objects chunked every
+``chunk_size`` bytes. Applications link against DFS directly (the
+paper's "DAOS" / DFS interface) or mount it through
+:mod:`repro.dfuse` for unmodified POSIX I/O.
+"""
+
+from repro.dfs.dfs import Dfs
+from repro.dfs.file import DfsFile
+from repro.dfs.layout import InodeEntry
+
+__all__ = ["Dfs", "DfsFile", "InodeEntry"]

@@ -1,0 +1,93 @@
+"""Open DFS regular files."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.daos.object import ObjectHandle
+from repro.daos.vos.payload import Payload, as_payload
+from repro.dfs.layout import InodeEntry
+
+
+class DfsFile:
+    """An open regular file: an array object + its chunk size.
+
+    Size semantics follow DFS: the apparent size is derived from the
+    array object's highest extent. The handle keeps a local high-water
+    mark so that a writer does not need a size query per operation; a
+    fresh query happens on :meth:`get_size` / ``stat``.
+    """
+
+    def __init__(self, dfs, entry: InodeEntry, obj: ObjectHandle):
+        self.dfs = dfs
+        self.entry = entry
+        self.obj = obj
+        self.chunk_size = entry.chunk_size
+        self._local_high = 0
+        #: size learned from the store (None until first queried). Reads
+        #: clamp against this cached value — one size query per handle,
+        #: not one per read, matching dfuse attribute caching. Writers
+        #: through other handles extending the file after our first read
+        #: are picked up on reopen (POSIX close-to-open consistency).
+        self._size_cache = None
+        self._closed = False
+
+    # ------------------------------------------------------------- I/O
+    def write(self, offset: int, data) -> Generator:
+        """Task helper: write at ``offset``; returns bytes written."""
+        payload = as_payload(data)
+        nbytes = yield from self.obj.write(
+            offset, payload, chunk_size=self.chunk_size
+        )
+        self._local_high = max(self._local_high, offset + nbytes)
+        if self._size_cache is not None:
+            self._size_cache = max(self._size_cache, self._local_high)
+        return nbytes
+
+    def read(self, offset: int, length: int) -> Generator:
+        """Task helper: read up to ``length`` bytes; short read at EOF."""
+        if self._size_cache is None:
+            yield from self.get_size()
+        size = max(self._size_cache, self._local_high)
+        if offset >= size:
+            return as_payload(b"")
+        length = min(length, size - offset)
+        payload = yield from self.obj.read(
+            offset, length, chunk_size=self.chunk_size
+        )
+        return payload
+
+    def get_size(self) -> Generator:
+        """Task helper: file size from the array object (authoritative)."""
+        size = yield from self.obj.size(chunk_size=self.chunk_size)
+        self._local_high = max(self._local_high, size)
+        self._size_cache = self._local_high
+        return self._local_high
+
+    def truncate(self, size: int) -> Generator:
+        """Task helper: punch everything past ``size``."""
+        current = yield from self.get_size()
+        if size < current:
+            yield from self.obj.punch_range(
+                size, current - size, chunk_size=self.chunk_size
+            )
+        elif size > current:
+            # extend by writing a zero byte at the end, like dfs_punch
+            # extending the apparent size with a trailing extent
+            yield from self.obj.write(
+                size - 1, b"\x00", chunk_size=self.chunk_size
+            )
+        self._local_high = size
+        self._size_cache = size
+        return size
+
+    def sync(self) -> Generator:
+        """DAOS I/O is synchronous at the VOS level; sync is a no-op RPC
+        round (kept for interface parity)."""
+        yield 0.0
+        return None
+
+    def close(self) -> None:
+        if not self._closed:
+            self.obj.close()
+            self._closed = True

@@ -1,0 +1,70 @@
+"""On-store DFS layout: reserved OIDs and inode entry records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.daos.objid import ObjId
+from repro.daos.oclass import S1, oclass_by_name
+
+#: OID.lo values below this are reserved for filesystem metadata; the
+#: container's OID allocator is pre-advanced past them at format time.
+RESERVED_OIDS = 16
+SUPERBLOCK_LO = 0
+ROOT_LO = 1
+
+DFS_MAGIC = "DFS1"
+
+#: dkey of the superblock record inside the superblock object
+SB_DKEY = b"\x00sb"
+SB_AKEY = b"\x00"
+
+#: akey under which a directory entry's inode record lives
+ENTRY_AKEY = b"\x00entry"
+
+
+def superblock_oid() -> ObjId:
+    return ObjId.generate(S1, lo=SUPERBLOCK_LO)
+
+
+def root_oid() -> ObjId:
+    return ObjId.generate(S1, lo=ROOT_LO)
+
+
+@dataclass
+class InodeEntry:
+    """A directory entry's value: everything needed to open the target.
+
+    Note what is *not* here, matching real DFS: the file size — it is
+    derived from the array object's extents, never trusted from metadata.
+    """
+
+    kind: str  # "file" | "dir"
+    oid_hi: int
+    oid_lo: int
+    chunk_size: int
+    oclass: str
+    mode: int = 0o644
+
+    @property
+    def oid(self) -> ObjId:
+        return ObjId(self.oid_hi, self.oid_lo)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+    def to_record(self) -> dict:
+        return {
+            "kind": self.kind,
+            "oid_hi": self.oid_hi,
+            "oid_lo": self.oid_lo,
+            "chunk_size": self.chunk_size,
+            "oclass": self.oclass,
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "InodeEntry":
+        return cls(**record)

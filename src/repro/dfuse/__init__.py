@@ -1,0 +1,15 @@
+"""DFuse — the FUSE mount over DFS.
+
+Gives unmodified POSIX applications (the IOR POSIX backend, the MPI-IO
+UFS driver, the HDF5 sec2 VFD) access to a DAOS container through the
+:class:`~repro.posix.vfs.FileSystem` interface, while charging the costs
+a real FUSE data path pays: per-request kernel crossings and the
+``max_write``/``max_read`` request segmentation at file-offset-aligned
+1 MiB windows (matching the DFS chunk size, as dfuse configures).
+Caching is disabled, the configuration DAOS documents for benchmarking
+(and the only safe one for multi-node IOR).
+"""
+
+from repro.dfuse.fuse import DFuseMount
+
+__all__ = ["DFuseMount"]

@@ -1,0 +1,179 @@
+"""The DFuse user-space filesystem daemon model.
+
+Every VFS call pays ``syscall_cost`` (user→kernel→fuse-daemon round
+trip); data calls are additionally segmented into FUSE requests at
+file-offset-aligned ``max_transfer`` windows — dfuse aligns its I/O
+descriptors to the DFS chunk layout, so an *unaligned* application
+buffer touches one more window than an aligned one and pays one more
+round trip (this, compounded by the HDF5 sieve behaviour, is mechanism
+#6 of DESIGN.md §3). Requests of one call are serviced sequentially by
+the daemon, as the kernel FUSE writeback path does with caching off.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, List, Tuple
+
+from repro.daos.vos.payload import as_payload, concat_payloads
+from repro.dfs.dfs import Dfs
+from repro.dfs.file import DfsFile
+from repro.errors import DaosError, FsError, fs_error_from_daos
+from repro.posix.vfs import FileHandle, FileSystem, StatResult, validate_flags
+from repro.units import MiB
+
+
+class DFuseMount(FileSystem):
+    """A DFuse mountpoint exposing a DFS container as a POSIX filesystem."""
+
+    def __init__(
+        self,
+        dfs: Dfs,
+        syscall_cost: float = 3.5e-6,
+        request_cost: float = 9e-6,
+        max_transfer: int = MiB,
+    ):
+        self.dfs = dfs
+        #: user↔kernel transition + VFS dispatch per system call
+        self.syscall_cost = syscall_cost
+        #: kernel→daemon→DFS dispatch per FUSE data request
+        self.request_cost = request_cost
+        #: FUSE max_read/max_write (dfuse default: 1 MiB)
+        self.max_transfer = max_transfer
+        self.blksize = max_transfer
+
+    # ------------------------------------------------------------- helpers
+    def _windows(self, offset: int, length: int) -> List[Tuple[int, int]]:
+        """Split [offset, offset+length) at aligned max_transfer windows."""
+        out = []
+        cursor = offset
+        stop = offset + length
+        while cursor < stop:
+            window_end = (cursor // self.max_transfer + 1) * self.max_transfer
+            take = min(window_end, stop) - cursor
+            out.append((cursor, take))
+            cursor += take
+        return out
+
+    @staticmethod
+    def _translate(err: DaosError, path: str) -> FsError:
+        return fs_error_from_daos(err, path)
+
+    # ------------------------------------------------------------- FileSystem API
+    def open(self, path: str, flags: Iterable[str] = ("r",)) -> Generator:
+        flag_set = validate_flags(flags)
+        yield self.syscall_cost
+        try:
+            handle = yield from self.dfs.open_file(
+                path,
+                create="creat" in flag_set,
+                excl="excl" in flag_set,
+                trunc="trunc" in flag_set,
+            )
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return DFuseFile(self, handle)
+
+    def mkdir(self, path: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            yield from self.dfs.mkdir(path)
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return None
+
+    def readdir(self, path: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            names = yield from self.dfs.readdir(path)
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return names
+
+    def stat(self, path: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            entry, size = yield from self.dfs.stat(path)
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return StatResult(
+            is_dir=entry.is_dir,
+            size=size,
+            mode=entry.mode,
+            blksize=self.blksize,
+        )
+
+    def unlink(self, path: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            yield from self.dfs.unlink(path)
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return None
+
+    def rmdir(self, path: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            yield from self.dfs.rmdir(path)
+        except DaosError as err:
+            raise self._translate(err, path) from err
+        return None
+
+    def rename(self, old: str, new: str) -> Generator:
+        yield self.syscall_cost
+        try:
+            yield from self.dfs.rename(old, new)
+        except DaosError as err:
+            raise self._translate(err, new) from err
+        return None
+
+
+class DFuseFile(FileHandle):
+    """An open fd on a DFuse mount."""
+
+    def __init__(self, mount: DFuseMount, inner: DfsFile):
+        self.mount = mount
+        self.inner = inner
+
+    def pwrite(self, offset: int, data) -> Generator:
+        payload = as_payload(data)
+        yield self.mount.syscall_cost
+        written = 0
+        for window_offset, take in self.mount._windows(offset, payload.nbytes):
+            yield self.mount.request_cost
+            fragment = payload.slice(written, written + take)
+            written += (
+                yield from self.inner.write(window_offset, fragment)
+            )
+        return written
+
+    def pread(self, offset: int, length: int) -> Generator:
+        yield self.mount.syscall_cost
+        parts = []
+        got = 0
+        for window_offset, take in self.mount._windows(offset, length):
+            yield self.mount.request_cost
+            part = yield from self.inner.read(window_offset, take)
+            parts.append(part)
+            got += part.nbytes
+            if part.nbytes < take:  # EOF inside this window
+                break
+        return concat_payloads(parts)
+
+    def fsync(self) -> Generator:
+        yield self.mount.syscall_cost
+        yield from self.inner.sync()
+        return None
+
+    def truncate(self, size: int) -> Generator:
+        yield self.mount.syscall_cost
+        yield from self.inner.truncate(size)
+        return None
+
+    def size(self) -> Generator:
+        yield self.mount.syscall_cost
+        return (yield from self.inner.get_size())
+
+    def close(self) -> Generator:
+        yield self.mount.syscall_cost
+        self.inner.close()
+        return None

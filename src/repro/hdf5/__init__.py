@@ -1,0 +1,27 @@
+"""HDF5-lite: a self-describing array file format with pluggable VFDs.
+
+Structurally modelled on HDF5 (not byte-compatible — see DESIGN.md §5):
+
+- a fixed-location superblock pointing at the metadata catalog and
+  tracking EOF and the *alignment* file-creation property,
+- datasets with dataspaces (N-d dims), datatypes, and contiguous or
+  chunked layouts, addressed through hyperslab selections,
+- virtual file drivers: ``sec2`` (any POSIX-like mount — a DFuse mount
+  in the paper) and ``mpio`` (collective I/O over MPI-IO).
+
+Performance-relevant fidelity: with the default ``alignment=1`` the raw
+data lands at unaligned offsets interleaved with metadata, and the sec2
+driver pays H5Dread/H5Dwrite staging through HDF5's internal conversion/
+sieve buffering (a memcpy-bound client-side pipeline) — the mechanism
+behind "HDF5 using the DFuse mount gives much lower performance" in the
+paper. Setting ``alignment`` to the filesystem's preferred I/O size
+restores direct I/O (ablation A4), and the ``mpio`` VFD bypasses the
+staging entirely via collective buffering (the shared-file result).
+"""
+
+from repro.hdf5.file import H5File
+from repro.hdf5.datatype import Datatype
+from repro.hdf5.dataspace import Dataspace
+from repro.hdf5.vfd import MpioVfd, Sec2Vfd
+
+__all__ = ["H5File", "Datatype", "Dataspace", "Sec2Vfd", "MpioVfd"]

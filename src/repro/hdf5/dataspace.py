@@ -1,0 +1,91 @@
+"""Dataspaces and hyperslab selections.
+
+A dataspace is an N-dimensional extent; a hyperslab selection
+``(start, count)`` picks a rectangular region. :meth:`Dataspace.runs`
+linearizes a selection into maximal contiguous element runs in row-major
+order — the quantity every layout driver consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Dataspace:
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d <= 0 for d in self.dims):
+            raise ValueError(f"bad dataspace dims {self.dims}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def n_elements(self) -> int:
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    def validate_selection(
+        self, start: Sequence[int], count: Sequence[int]
+    ) -> None:
+        if len(start) != self.rank or len(count) != self.rank:
+            raise ValueError(
+                f"selection rank {len(start)}/{len(count)} != dataspace rank "
+                f"{self.rank}"
+            )
+        for s, c, d in zip(start, count, self.dims):
+            if s < 0 or c <= 0 or s + c > d:
+                raise ValueError(
+                    f"selection [{s}, {s + c}) outside extent {d}"
+                )
+
+    def selection_elements(self, count: Sequence[int]) -> int:
+        total = 1
+        for c in count:
+            total *= c
+        return total
+
+    def runs(
+        self, start: Sequence[int], count: Sequence[int]
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield (linear_element_offset, n_elements) contiguous runs of
+        the hyperslab, row-major, coalescing full trailing dimensions."""
+        self.validate_selection(start, count)
+        # k = outermost axis that still belongs to one contiguous run:
+        # every axis deeper than k must be selected in full.
+        k = self.rank - 1
+        while k > 0 and start[k] == 0 and count[k] == self.dims[k]:
+            k -= 1
+        # row-major strides
+        strides = [1] * self.rank
+        for axis in range(self.rank - 2, -1, -1):
+            strides[axis] = strides[axis + 1] * self.dims[axis + 1]
+        run_len = count[k] * strides[k]
+        base = start[k] * strides[k]
+        outer = list(range(k))
+        index = [0] * len(outer)
+        while True:
+            offset = base
+            for i, axis in enumerate(outer):
+                offset += (start[axis] + index[i]) * strides[axis]
+            yield offset, run_len
+            for i in range(len(outer) - 1, -1, -1):
+                index[i] += 1
+                if index[i] < count[outer[i]]:
+                    break
+                index[i] = 0
+            else:
+                return
+
+    def to_record(self) -> List[int]:
+        return list(self.dims)
+
+    @classmethod
+    def from_record(cls, record: Sequence[int]) -> "Dataspace":
+        return cls(tuple(record))

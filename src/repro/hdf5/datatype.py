@@ -1,0 +1,40 @@
+"""Datatypes: fixed-size scalar element types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SIZES = {
+    "u1": 1,
+    "i1": 1,
+    "u2": 2,
+    "i2": 2,
+    "u4": 4,
+    "i4": 4,
+    "u8": 8,
+    "i8": 8,
+    "f4": 4,
+    "f8": 8,
+}
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A scalar element type identified by a numpy-style code."""
+
+    code: str
+
+    def __post_init__(self) -> None:
+        if self.code not in _SIZES:
+            raise ValueError(f"unknown datatype {self.code!r}")
+
+    @property
+    def itemsize(self) -> int:
+        return _SIZES[self.code]
+
+    def to_record(self) -> str:
+        return self.code
+
+    @classmethod
+    def from_record(cls, record: str) -> "Datatype":
+        return cls(record)

@@ -1,0 +1,21 @@
+"""A faithful port of the IOR benchmark (the paper's instrument).
+
+Parameter semantics mirror the IOR command line: ``-a`` (api), ``-b``
+(block size per process per segment), ``-t`` (transfer size), ``-s``
+(segments), ``-F`` (file per process — the paper's *easy* mode; without
+it a single shared segmented file — the *hard* mode), ``-c`` (collective
+MPI-IO), ``-e`` (fsync after writes), ``-C`` (reorder tasks for the read
+phase), ``-w``/``-r`` (phases), ``-i`` (repetitions, max reported).
+Backends: POSIX (any VFS mount: DFuse or Lustre), DFS (native libdfs),
+MPIIO, HDF5, and DAOS (the native array API — the paper's future work).
+
+Bandwidth is computed exactly as IOR computes it: aggregate bytes
+divided by the span from the post-barrier phase start to the *last*
+rank's completion.
+"""
+
+from repro.ior.config import IorParams
+from repro.ior.report import IorResult, PhaseResult
+from repro.ior.runner import run_ior
+
+__all__ = ["IorParams", "IorResult", "PhaseResult", "run_ior"]

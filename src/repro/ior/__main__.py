@@ -1,0 +1,5 @@
+"""``python -m repro.ior`` — the simulated-IOR command line."""
+
+from repro.ior.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""IOR backends (IOR calls these AIORI modules)."""
+
+from repro.ior.backends.base import Backend, make_backend
+
+__all__ = ["Backend", "make_backend"]

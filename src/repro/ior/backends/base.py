@@ -1,0 +1,56 @@
+"""The abstract I/O interface IOR drives, plus the backend registry."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ior.config import IorParams
+
+
+class Backend:
+    """Per-rank I/O interface. All methods are task helpers."""
+
+    name = "?"
+
+    def __init__(self, params: IorParams, ctx, storage):
+        self.params = params
+        self.ctx = ctx
+        self.storage = storage
+
+    def open(self, path: str, create: bool) -> Generator:
+        """Open (creating when asked) the test file; returns a handle."""
+        raise NotImplementedError
+
+    def write(self, handle, offset: int, payload) -> Generator:
+        raise NotImplementedError
+
+    def read(self, handle, offset: int, nbytes: int) -> Generator:
+        raise NotImplementedError
+
+    def fsync(self, handle) -> Generator:
+        raise NotImplementedError
+
+    def close(self, handle) -> Generator:
+        raise NotImplementedError
+
+    def remove(self, path: str) -> Generator:
+        """Best-effort cleanup between repetitions (unused by default)."""
+        yield 0.0
+        return None
+
+
+def make_backend(params: IorParams, ctx, storage) -> Backend:
+    from repro.ior.backends.daos_array import DaosArrayBackend
+    from repro.ior.backends.dfs import DfsBackend
+    from repro.ior.backends.hdf5 import Hdf5Backend
+    from repro.ior.backends.mpiio import MpiioBackend
+    from repro.ior.backends.posix import PosixBackend
+
+    registry = {
+        "POSIX": PosixBackend,
+        "DFS": DfsBackend,
+        "MPIIO": MpiioBackend,
+        "HDF5": Hdf5Backend,
+        "DAOS": DaosArrayBackend,
+    }
+    return registry[params.api](params, ctx, storage)

@@ -1,0 +1,86 @@
+"""DAOS backend: the native array API, no filesystem at all.
+
+This is the paper's stated future work ("extending benchmarking to use
+the DAOS API rather than DFS or DFuse POSIX-based backends") — extension
+experiment E1. Test "files" are DAOS arrays; a catalog KV object at a
+reserved OID maps IOR paths to array OIDs so reordered readers can find
+other ranks' arrays, standing in for the namespace a filesystem would
+provide.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.daos.array import DaosArray
+from repro.daos.kv import DaosKV
+from repro.daos.objid import ObjId
+from repro.daos.oclass import S1, oclass_by_name
+from repro.errors import DerNonexist
+from repro.ior.backends.base import Backend
+
+#: reserved OID (below RESERVED_OIDS) for the path->oid catalog
+CATALOG_LO = 2
+
+
+class DaosArrayBackend(Backend):
+    name = "DAOS"
+
+    def _catalog(self) -> DaosKV:
+        return DaosKV.open(self.storage.cont, ObjId.generate(S1, lo=CATALOG_LO))
+
+    def _oclass(self):
+        name = self.params.oclass or self.storage.cont.props.get("oclass", "SX")
+        return oclass_by_name(name)
+
+    def open(self, path: str, create: bool) -> Generator:
+        catalog = self._catalog()
+        if create and (self.params.file_per_proc or self.ctx.rank == 0):
+            array = yield from DaosArray.create(
+                self.storage.cont,
+                cell_size=1,
+                chunk_cells=self.params.chunk_size,
+                oclass=self._oclass(),
+            )
+            yield from catalog.put(path, (array.obj.oid.hi, array.obj.oid.lo))
+            if not self.params.file_per_proc:
+                yield from self.ctx.barrier()
+            catalog.close()
+            return array
+        if create and not self.params.file_per_proc:
+            yield from self.ctx.barrier()  # wait for rank 0's create
+        hi_lo = yield from catalog.get(path)
+        catalog.close()
+        array = yield from DaosArray.open(
+            self.storage.cont, ObjId(hi_lo[0], hi_lo[1])
+        )
+        return array
+
+    def write(self, handle: DaosArray, offset: int, payload) -> Generator:
+        return (yield from handle.write(offset, payload))
+
+    def read(self, handle: DaosArray, offset: int, nbytes: int) -> Generator:
+        return (yield from handle.read(offset, nbytes))
+
+    def fsync(self, handle: DaosArray) -> Generator:
+        yield 0.0
+        return None
+
+    def close(self, handle: DaosArray) -> Generator:
+        handle.close()
+        yield 0.0
+        return None
+
+    def remove(self, path: str) -> Generator:
+        catalog = self._catalog()
+        try:
+            hi_lo = yield from catalog.get(path)
+        except DerNonexist:
+            catalog.close()
+            return None
+        yield from catalog.remove(path)
+        catalog.close()
+        obj = self.storage.cont.open_object(ObjId(hi_lo[0], hi_lo[1]))
+        yield from obj.punch_object()
+        obj.close()
+        return None

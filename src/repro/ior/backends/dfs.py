@@ -1,0 +1,47 @@
+"""DFS backend: the native libdfs path (the paper's "DAOS" lines)."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ior.backends.base import Backend
+
+
+class DfsBackend(Backend):
+    name = "DFS"
+
+    def open(self, path: str, create: bool) -> Generator:
+        dfs = self.storage.dfs
+        kwargs = dict(
+            chunk_size=self.params.chunk_size,
+            oclass=self.params.oclass,
+        )
+        if not create:
+            return (yield from dfs.open_file(path))
+        if self.params.file_per_proc:
+            return (yield from dfs.open_file(path, create=True, **kwargs))
+        if self.ctx.rank == 0:
+            handle = yield from dfs.open_file(path, create=True, **kwargs)
+            yield from self.ctx.barrier()
+            return handle
+        yield from self.ctx.barrier()
+        return (yield from dfs.open_file(path))
+
+    def write(self, handle, offset: int, payload) -> Generator:
+        return (yield from handle.write(offset, payload))
+
+    def read(self, handle, offset: int, nbytes: int) -> Generator:
+        return (yield from handle.read(offset, nbytes))
+
+    def fsync(self, handle) -> Generator:
+        yield from handle.sync()
+        return None
+
+    def close(self, handle) -> Generator:
+        handle.close()
+        yield 0.0
+        return None
+
+    def remove(self, path: str) -> Generator:
+        yield from self.storage.dfs.unlink(path)
+        return None

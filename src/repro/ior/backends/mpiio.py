@@ -1,0 +1,43 @@
+"""MPI-IO backend over the DFuse mount (ROMIO ufs driver), matching the
+paper's "MPI-IO" lines. ``collective=True`` switches the data calls to
+two-phase collective buffering."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ior.backends.base import Backend
+from repro.mpiio import MpiFile, UfsDriver
+
+
+class MpiioBackend(Backend):
+    name = "MPIIO"
+
+    def open(self, path: str, create: bool) -> Generator:
+        driver = UfsDriver(self.storage.mount)
+        handle = yield from MpiFile.open(
+            self.ctx, path, driver, create=create
+        )
+        return handle
+
+    def write(self, handle, offset: int, payload) -> Generator:
+        if self.params.collective:
+            return (yield from handle.write_at_all(offset, payload))
+        return (yield from handle.write_at(offset, payload))
+
+    def read(self, handle, offset: int, nbytes: int) -> Generator:
+        if self.params.collective:
+            return (yield from handle.read_at_all(offset, nbytes))
+        return (yield from handle.read_at(offset, nbytes))
+
+    def fsync(self, handle) -> Generator:
+        yield from handle.sync()
+        return None
+
+    def close(self, handle) -> Generator:
+        yield from handle.close()
+        return None
+
+    def remove(self, path: str) -> Generator:
+        yield from self.storage.mount.unlink(path)
+        return None

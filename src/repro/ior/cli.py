@@ -1,0 +1,113 @@
+"""An IOR-compatible command line for the simulated stack.
+
+Accepts the subset of real-IOR flags this port implements, boots a
+cluster, runs the workload and prints the familiar result block::
+
+    python -m repro.ior -a DFS -F -b 64m -t 1m -N 4 --ppn 16 -O oclass=S2
+    python -m repro.ior -a MPIIO -b 16m -t 1m -c --lustre
+
+Cluster geometry flags (``-N/--nodes``, ``--ppn``, ``--servers``,
+``--lustre``) replace the job launcher a real IOR run would use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.ior.config import APIS, IorParams
+from repro.ior.runner import run_ior
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ior(sim)",
+        description="IOR on the simulated DAOS / Lustre stack",
+    )
+    parser.add_argument("-a", "--api", choices=APIS, default="DFS")
+    parser.add_argument("-b", "--block-size", default="16m")
+    parser.add_argument("-t", "--transfer-size", default="1m")
+    parser.add_argument("-s", "--segments", type=int, default=1)
+    parser.add_argument("-F", "--file-per-proc", action="store_true")
+    parser.add_argument("-c", "--collective", action="store_true")
+    parser.add_argument("-e", "--fsync", action="store_true")
+    parser.add_argument("-C", "--reorder", action="store_true", default=True)
+    parser.add_argument("--no-reorder", dest="reorder", action="store_false")
+    parser.add_argument("-w", "--write-only", action="store_true")
+    parser.add_argument("-r", "--read-only", action="store_true")
+    parser.add_argument("-R", "--verify", action="store_true")
+    parser.add_argument("-i", "--repetitions", type=int, default=1)
+    parser.add_argument("--interleaved", action="store_true",
+                        help="io500-hard style transfer interleave")
+    parser.add_argument("-O", "--option", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="backend options: oclass=S2, chunk_size=1m")
+    # cluster geometry
+    parser.add_argument("-N", "--nodes", type=int, default=2,
+                        help="client nodes")
+    parser.add_argument("--ppn", type=int, default=16)
+    parser.add_argument("--servers", type=int, default=8)
+    parser.add_argument("--lustre", action="store_true",
+                        help="run against the Lustre baseline instead")
+    parser.add_argument("--seed", type=int, default=0xDA05)
+    return parser
+
+
+def params_from_args(args) -> IorParams:
+    options = {}
+    for item in args.option:
+        if "=" not in item:
+            raise SystemExit(f"bad -O option {item!r} (need KEY=VALUE)")
+        key, value = item.split("=", 1)
+        options[key] = value
+    if args.write_only and args.read_only:
+        raise SystemExit("-w and -r are mutually exclusive here")
+    return IorParams(
+        api=args.api,
+        block_size=args.block_size,
+        transfer_size=args.transfer_size,
+        segments=args.segments,
+        file_per_proc=args.file_per_proc,
+        interleaved=args.interleaved,
+        collective=args.collective,
+        fsync=args.fsync,
+        reorder_tasks=args.reorder,
+        write=not args.read_only,
+        read=not args.write_only,
+        verify=args.verify,
+        repetitions=args.repetitions,
+        oclass=options.get("oclass"),
+        chunk_size=options.get("chunk_size", "1m"),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    params = params_from_args(args)
+    if args.read_only and not args.lustre:
+        # a read-only run needs pre-existing data; run a silent write pass
+        params.write = True
+    if args.lustre:
+        if params.api in ("DFS", "DAOS"):
+            raise SystemExit(f"api {params.api} requires DAOS (drop --lustre)")
+        from repro.cluster import build_lustre_cluster
+
+        cluster = build_lustre_cluster(
+            server_nodes=args.servers, client_nodes=args.nodes,
+            seed=args.seed,
+        )
+    else:
+        from repro.cluster import build_cluster
+
+        cluster = build_cluster(
+            server_nodes=args.servers, client_nodes=args.nodes,
+            seed=args.seed,
+        )
+    result = run_ior(cluster, params, ppn=args.ppn)
+    print(result.summary())
+    return 1 if result.verify_errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via module main
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""IOR parameters (the subset of the real tool's options we exercise)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.units import MiB, parse_size
+
+APIS = ("POSIX", "DFS", "MPIIO", "HDF5", "DAOS")
+
+
+@dataclass
+class IorParams:
+    """One IOR invocation's workload description."""
+
+    #: -a: POSIX | DFS | MPIIO | HDF5 | DAOS
+    api: str = "DFS"
+    #: -b: contiguous bytes each process writes per segment
+    block_size: Union[int, str] = "16m"
+    #: -t: bytes per I/O call
+    transfer_size: Union[int, str] = "1m"
+    #: -s: number of segments (shared file: segments interleave blocks)
+    segments: int = 1
+    #: -F: file per process ("easy"); False = single shared file ("hard")
+    file_per_proc: bool = False
+    #: interleave at transfer granularity inside a segment (io500-hard
+    #: style layout) instead of IOR's default segmented layout
+    interleaved: bool = False
+    #: -c: use collective MPI-IO calls (MPIIO/HDF5 shared-file runs)
+    collective: bool = False
+    #: -e: fsync after the write phase
+    fsync: bool = False
+    #: -C: read phase reads the data written by rank+1 (defeats locality)
+    reorder_tasks: bool = True
+    #: -w / -r
+    write: bool = True
+    read: bool = True
+    #: -R: verify contents during the read phase
+    verify: bool = False
+    #: -i: repetitions; the report keeps all and summarizes the max
+    repetitions: int = 1
+    #: DAOS object class for created files/objects (None = container default)
+    oclass: Optional[str] = None
+    #: DFS chunk size for created files
+    chunk_size: Union[int, str] = MiB
+    #: working directory inside the filesystem under test
+    test_dir: str = "/ior"
+
+    def __post_init__(self) -> None:
+        if self.api not in APIS:
+            raise ValueError(f"api must be one of {APIS}, got {self.api!r}")
+        self.block_size = parse_size(self.block_size)
+        self.transfer_size = parse_size(self.transfer_size)
+        self.chunk_size = parse_size(self.chunk_size)
+        if self.block_size <= 0 or self.transfer_size <= 0:
+            raise ValueError("block and transfer sizes must be positive")
+        if self.block_size % self.transfer_size:
+            raise ValueError(
+                f"block size {self.block_size} is not a multiple of the "
+                f"transfer size {self.transfer_size}"
+            )
+        if self.segments <= 0 or self.repetitions <= 0:
+            raise ValueError("segments and repetitions must be positive")
+        if self.collective and self.api not in ("MPIIO", "HDF5"):
+            raise ValueError("collective I/O requires the MPIIO or HDF5 api")
+        if self.interleaved and self.file_per_proc:
+            raise ValueError("interleaved layout applies to shared files")
+
+    @property
+    def transfers_per_block(self) -> int:
+        return self.block_size // self.transfer_size
+
+    def bytes_per_rank(self) -> int:
+        return self.block_size * self.segments
+
+    def total_bytes(self, nprocs: int) -> int:
+        return self.bytes_per_rank() * nprocs
+
+    def file_path(self, rank: int) -> str:
+        if self.file_per_proc:
+            return f"{self.test_dir}/testFile.{rank:08d}"
+        return f"{self.test_dir}/testFile"
+
+    def offset(self, nprocs: int, rank: int, segment: int, transfer: int) -> int:
+        """File offset of one transfer, matching IOR's layouts."""
+        if self.file_per_proc:
+            return segment * self.block_size + transfer * self.transfer_size
+        if self.interleaved:
+            per_seg = self.transfers_per_block
+            index = (segment * per_seg + transfer) * nprocs + rank
+            return index * self.transfer_size
+        return (
+            segment * nprocs * self.block_size
+            + rank * self.block_size
+            + transfer * self.transfer_size
+        )
+
+    def cli(self) -> str:
+        """The equivalent real-IOR command line (for reports)."""
+        parts = [
+            "ior",
+            f"-a {self.api}",
+            f"-b {self.block_size}",
+            f"-t {self.transfer_size}",
+            f"-s {self.segments}",
+            f"-i {self.repetitions}",
+        ]
+        if self.file_per_proc:
+            parts.append("-F")
+        if self.collective:
+            parts.append("-c")
+        if self.fsync:
+            parts.append("-e")
+        if self.reorder_tasks:
+            parts.append("-C")
+        if self.write:
+            parts.append("-w")
+        if self.read:
+            parts.append("-r")
+        if self.verify:
+            parts.append("-R")
+        return " ".join(parts)

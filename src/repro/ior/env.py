@@ -1,0 +1,78 @@
+"""Storage environments wiring IOR ranks to a system under test."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.cluster.builder import Cluster, LustreCluster
+from repro.dfs import Dfs
+from repro.dfuse import DFuseMount
+from repro.ior.config import IorParams
+
+_env_seq = itertools.count(1)
+
+
+@dataclass
+class RankStorage:
+    """What one rank gets from its environment."""
+
+    mount: Optional[object] = None  # FileSystem (DFuse or Lustre)
+    dfs: Optional[Dfs] = None
+    cont: Optional[object] = None  # ContainerHandle
+
+
+class DaosIorEnv:
+    """DAOS under test: one fresh container per environment, per-rank
+    client contexts, DFS mounts and DFuse mounts."""
+
+    def __init__(self, cluster: Cluster, params: IorParams):
+        self.cluster = cluster
+        self.params = params
+        self.label = f"ior-{next(_env_seq):04d}"
+
+    def prepare(self) -> Generator:
+        """Task helper: create the container and the test directory."""
+        client = self.cluster.new_client(0)
+        pool = yield from client.connect_pool(self.cluster.pool.label)
+        cont = yield from pool.create_container(
+            self.label,
+            oclass=self.params.oclass or "SX",
+            chunk_size=self.params.chunk_size,
+        )
+        dfs = yield from Dfs.mount(cont)
+        yield from dfs.mkdir(self.params.test_dir)
+        dfs.umount()
+        return None
+
+    def rank_setup(self, ctx) -> Generator:
+        """Task helper: per-rank client + mounts."""
+        node_index = self.cluster.clients.index(ctx.node)
+        client = self.cluster.new_client(node_index)
+        pool = yield from client.connect_pool(self.cluster.pool.label)
+        cont = yield from pool.open_container(self.label)
+        dfs = yield from Dfs.mount(cont)
+        return RankStorage(mount=DFuseMount(dfs), dfs=dfs, cont=cont)
+
+
+class LustreIorEnv:
+    """The parallel-filesystem baseline under the same IOR workloads."""
+
+    def __init__(self, cluster: LustreCluster, params: IorParams):
+        self.cluster = cluster
+        self.params = params
+
+    def prepare(self) -> Generator:
+        mount = self.cluster.mount(0, name="ior-prep")
+        try:
+            yield from mount.mkdir(self.params.test_dir)
+        except Exception:
+            pass  # already exists from a previous run
+        return None
+
+    def rank_setup(self, ctx) -> Generator:
+        node_index = self.cluster.clients.index(ctx.node)
+        yield 0.0
+        return RankStorage(mount=self.cluster.mount(node_index,
+                                                    name=f"ior-r{ctx.rank}"))

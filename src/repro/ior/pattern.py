@@ -1,0 +1,28 @@
+"""Verification data patterns.
+
+Every byte IOR writes is a pure function of (file path, absolute file
+offset), so any rank can verify any region after task reordering without
+shipping reference buffers around — and, thanks to
+:class:`~repro.daos.vos.payload.PatternPayload`, without materializing
+the data at all unless a comparison actually fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.daos.vos.payload import Payload, PatternPayload
+
+
+def file_seed(path: str) -> int:
+    digest = hashlib.blake2b(path.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def make_payload(path: str, offset: int, nbytes: int) -> PatternPayload:
+    return PatternPayload(seed=file_seed(path), origin=offset, nbytes=nbytes)
+
+
+def verify_payload(path: str, offset: int, payload: Payload) -> bool:
+    expected = make_payload(path, offset, payload.nbytes)
+    return payload == expected

@@ -1,0 +1,76 @@
+"""IOR result records and reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.ior.config import IorParams
+from repro.units import fmt_bw, fmt_size, fmt_time
+
+
+@dataclass
+class PhaseResult:
+    """One timed phase of one repetition."""
+
+    op: str  # "write" | "read"
+    repetition: int
+    seconds: float
+    nbytes: int
+    verify_errors: int = 0
+
+    @property
+    def bandwidth(self) -> float:
+        return self.nbytes / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class IorResult:
+    """The full outcome of one IOR invocation."""
+
+    params: IorParams
+    nprocs: int
+    client_nodes: int
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    def _best(self, op: str) -> Optional[PhaseResult]:
+        candidates = [p for p in self.phases if p.op == op]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.bandwidth)
+
+    @property
+    def max_write_bw(self) -> float:
+        best = self._best("write")
+        return best.bandwidth if best else 0.0
+
+    @property
+    def max_read_bw(self) -> float:
+        best = self._best("read")
+        return best.bandwidth if best else 0.0
+
+    @property
+    def verify_errors(self) -> int:
+        return sum(p.verify_errors for p in self.phases)
+
+    def summary(self) -> str:
+        """An IOR-flavoured results block."""
+        lines = [
+            f"IOR (simulated): {self.params.cli()}",
+            f"clients: {self.client_nodes} nodes x "
+            f"{self.nprocs // max(1, self.client_nodes)} ppn = "
+            f"{self.nprocs} procs; "
+            f"aggregate {fmt_size(self.params.total_bytes(self.nprocs))}",
+        ]
+        for phase in self.phases:
+            lines.append(
+                f"  {phase.op:5s} rep {phase.repetition}: "
+                f"{fmt_bw(phase.bandwidth)} in {fmt_time(phase.seconds)}"
+                + (f"  VERIFY ERRORS: {phase.verify_errors}"
+                   if phase.verify_errors else "")
+            )
+        if self._best("write"):
+            lines.append(f"Max Write: {fmt_bw(self.max_write_bw)}")
+        if self._best("read"):
+            lines.append(f"Max Read:  {fmt_bw(self.max_read_bw)}")
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""The IOR SPMD driver.
+
+``run_ior`` boots the workload on a cluster: prepares the storage
+environment (fresh container / test directory), launches one simulated
+MPI rank per process, runs the write and read phases with IOR's barrier
+and timing discipline, and reduces the result exactly as IOR does —
+phase time = last rank's completion minus the synchronized start.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.cluster.builder import Cluster, LustreCluster
+from repro.ior.backends import make_backend
+from repro.ior.config import IorParams
+from repro.ior.env import DaosIorEnv, LustreIorEnv, RankStorage
+from repro.ior.pattern import make_payload, verify_payload
+from repro.ior.report import IorResult, PhaseResult
+from repro.mpi import MpiWorld
+
+
+def run_ior(
+    cluster,
+    params: IorParams,
+    ppn: int = 16,
+    client_nodes: Optional[int] = None,
+    env=None,
+    limit: float = 1e7,
+) -> IorResult:
+    """Run one IOR invocation on a booted cluster; returns the result.
+
+    ``cluster`` may be a DAOS :class:`~repro.cluster.builder.Cluster` or
+    a :class:`~repro.cluster.builder.LustreCluster` (POSIX/MPIIO/HDF5
+    apis only for the latter).
+    """
+    nodes = cluster.clients[: client_nodes or len(cluster.clients)]
+    if env is None:
+        if isinstance(cluster, LustreCluster):
+            env = LustreIorEnv(cluster, params)
+        else:
+            env = DaosIorEnv(cluster, params)
+    cluster.run(env.prepare())
+
+    world = MpiWorld(cluster.sim, cluster.fabric, nodes, ppn)
+    rank_results = world.run_to_completion(
+        lambda ctx: _rank_main(ctx, params, env), limit=limit
+    )
+    result = IorResult(
+        params=params,
+        nprocs=world.nprocs,
+        client_nodes=len(nodes),
+    )
+    result.phases = rank_results[0]
+    return result
+
+
+def _rank_main(ctx, params: IorParams, env) -> Generator:
+    storage: RankStorage = yield from env.rank_setup(ctx)
+    backend = make_backend(params, ctx, storage)
+    phases: List[PhaseResult] = []
+
+    for repetition in range(params.repetitions):
+        if params.write:
+            phase = yield from _phase_write(ctx, params, backend, repetition)
+            phases.append(phase)
+        if params.read:
+            phase = yield from _phase_read(ctx, params, backend, repetition)
+            phases.append(phase)
+    return phases
+
+
+def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
+    path = params.file_path(ctx.rank)
+    handle = yield from backend.open(path, create=True)
+    yield from ctx.barrier()
+    start = ctx.sim.now
+    for segment in range(params.segments):
+        for transfer in range(params.transfers_per_block):
+            offset = params.offset(ctx.size, ctx.rank, segment, transfer)
+            payload = make_payload(path, offset, params.transfer_size)
+            yield from backend.write(handle, offset, payload)
+    if params.fsync:
+        yield from backend.fsync(handle)
+    yield from backend.close(handle)
+    end = yield from ctx.allreduce(ctx.sim.now, op=max)
+    return PhaseResult(
+        op="write",
+        repetition=repetition,
+        seconds=end - start,
+        nbytes=params.total_bytes(ctx.size),
+    )
+
+
+def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
+    # -C: read the block written by rank+1 (and, file-per-process, that
+    # rank's file), defeating any locality between the phases.
+    read_rank = (ctx.rank + 1) % ctx.size if params.reorder_tasks else ctx.rank
+    path = params.file_path(read_rank)
+    handle = yield from backend.open(path, create=False)
+    errors = 0
+    yield from ctx.barrier()
+    start = ctx.sim.now
+    for segment in range(params.segments):
+        for transfer in range(params.transfers_per_block):
+            offset = params.offset(ctx.size, read_rank, segment, transfer)
+            payload = yield from backend.read(
+                handle, offset, params.transfer_size
+            )
+            if params.verify:
+                if payload.nbytes != params.transfer_size or not verify_payload(
+                    path, offset, payload
+                ):
+                    errors += 1
+    yield from backend.close(handle)
+    end = yield from ctx.allreduce(ctx.sim.now, op=max)
+    total_errors = yield from ctx.allreduce(errors, op=lambda a, b: a + b)
+    return PhaseResult(
+        op="read",
+        repetition=repetition,
+        seconds=end - start,
+        nbytes=params.total_bytes(ctx.size),
+        verify_errors=total_errors,
+    )

@@ -1,0 +1,179 @@
+"""LDLM — Lustre's distributed extent lock manager (per OST object).
+
+Semantics reproduced:
+
+- modes ``PR`` (protected read, shared) and ``PW`` (protected write,
+  exclusive against everything);
+- *optimistic grant extension*: an uncontended request is widened to the
+  largest gap around it (commonly ``[start, ∞)``), so a lone writer
+  locks once and never again — this is why file-per-process is cheap;
+- *synchronous revocation*: a conflicting request blocks while each
+  conflicting holder receives a blocking callback, flushes, and cancels
+  — this round-trip tax, repeated every operation when writers
+  interleave within a stripe object, is the shared-file collapse.
+
+The lock server lives with its OST; request/callback costs are charged
+by the caller-supplied cost hooks so this module stays pure logic (and
+unit-testable without a simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, List, Optional, Tuple
+
+INF = float("inf")
+
+PR = "PR"
+PW = "PW"
+
+
+def _conflicts(mode_a: str, mode_b: str) -> bool:
+    return mode_a == PW or mode_b == PW
+
+
+@dataclass
+class ExtentLock:
+    owner: str
+    mode: str
+    start: int
+    end: float  # exclusive; may be INF
+
+    def overlaps(self, start: int, end: float) -> bool:
+        return self.start < end and start < self.end
+
+
+#: LDLM extent locks are page-granular: requests are widened outward to
+#: 4 KiB boundaries, so *byte-disjoint but page-sharing* writers (the
+#: io500-hard unaligned interleave) genuinely conflict on every op.
+PAGE = 4096
+
+
+class LockSpace:
+    """Lock state for one OST object."""
+
+    def __init__(self) -> None:
+        self.locks: List[ExtentLock] = []
+        self.revocations = 0
+        self.grants = 0
+        #: set after the first revocation: the server has seen contention
+        #: on this object and stops optimistic whole-file extension,
+        #: granting only the requested (page-rounded) range — Lustre's
+        #: adaptive extent-grant policy.
+        self.contended = False
+
+    # ------------------------------------------------------------- queries
+    def holder_covers(self, owner: str, mode: str, start: int, end: float) -> bool:
+        """Does ``owner`` already hold a lock covering [start, end)?"""
+        for lock in self.locks:
+            if (
+                lock.owner == owner
+                and lock.start <= start
+                and lock.end >= end
+                and (lock.mode == PW or lock.mode == mode)
+            ):
+                return True
+        return False
+
+    def conflicting(self, owner: str, mode: str, start: int, end: float
+                    ) -> List[ExtentLock]:
+        return [
+            lock
+            for lock in self.locks
+            if lock.owner != owner
+            and lock.overlaps(start, end)
+            and _conflicts(mode, lock.mode)
+        ]
+
+    # ------------------------------------------------------------- mutation
+    def revoke(self, lock: ExtentLock) -> None:
+        self.locks.remove(lock)
+        self.revocations += 1
+        self.contended = True
+
+    def grant(self, owner: str, mode: str, start: int, end: float
+              ) -> ExtentLock:
+        """Grant [start, end), widened into the surrounding free gap while
+        the object is uncontended (Lustre's optimistic extension), or
+        exactly as requested once contention has been seen. Caller must
+        have cleared conflicts first."""
+        if self.contended:
+            lo: float = start
+            hi: float = end
+        else:
+            lo = 0
+            hi = INF
+        for lock in self.locks:
+            if lock.owner == owner:
+                continue
+            if not _conflicts(mode, lock.mode):
+                continue
+            if lock.end <= start:
+                lo = max(lo, lock.end)
+            elif lock.start >= end:
+                hi = min(hi, lock.start)
+        # Merge with our own adjacent/overlapping same-mode locks.
+        merged_start, merged_end = max(0, int(lo)), hi
+        kept = []
+        for lock in self.locks:
+            if lock.owner == owner and lock.mode == mode and not (
+                lock.end < merged_start or lock.start > merged_end
+            ):
+                merged_start = min(merged_start, lock.start)
+                merged_end = max(merged_end, lock.end)
+            else:
+                kept.append(lock)
+        self.locks = kept
+        granted = ExtentLock(owner, mode, merged_start, merged_end)
+        self.locks.append(granted)
+        self.grants += 1
+        return granted
+
+    def drop_owner(self, owner: str) -> int:
+        """Cancel all locks of ``owner`` (file close); returns count."""
+        before = len(self.locks)
+        self.locks = [l for l in self.locks if l.owner != owner]
+        return before - len(self.locks)
+
+    def check_invariants(self) -> None:
+        """No two conflicting locks may overlap."""
+        for i, a in enumerate(self.locks):
+            for b in self.locks[i + 1 :]:
+                if a.owner != b.owner and _conflicts(a.mode, b.mode):
+                    assert not a.overlaps(b.start, b.end), (a, b)
+
+
+def acquire(
+    space: LockSpace,
+    owner: str,
+    mode: str,
+    start: int,
+    end: float,
+    enqueue_cost: Callable[[], Generator],
+    revoke_cost: Callable[[ExtentLock], Generator],
+) -> Generator:
+    """Task helper: ensure ``owner`` holds a covering lock.
+
+    Fast path (already covered): free. Slow path: one enqueue RPC plus a
+    synchronous revocation round per conflicting holder.
+
+    Ranges are page-rounded outward, as LDLM extents are.
+    """
+    start = (start // PAGE) * PAGE
+    if end is not INF and end != INF:
+        end = -(-int(end) // PAGE) * PAGE
+    if space.holder_covers(owner, mode, start, end):
+        return False  # lock cache hit, no RPC
+    yield from enqueue_cost()
+    # Revocation is re-checked each round: while this requester waits for
+    # one holder's callback, other requesters may revoke/grant concurrently.
+    while True:
+        conflicts = space.conflicting(owner, mode, start, end)
+        if not conflicts:
+            break
+        lock = conflicts[0]
+        yield from revoke_cost(lock)
+        if lock in space.locks:
+            space.revoke(lock)
+    space.grant(owner, mode, start, end)
+    return True

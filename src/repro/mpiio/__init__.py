@@ -1,0 +1,14 @@
+"""MPI-IO: independent and collective file I/O over pluggable drivers.
+
+The shape follows ROMIO: a thin ``MPI_File`` layer
+(:mod:`repro.mpiio.file`) dispatching to an ADIO-like driver — ``ufs``
+(any :class:`~repro.posix.vfs.FileSystem`, e.g. a DFuse mount or a
+Lustre client) or ``dfs`` (native DFS, the DAOS ROMIO driver) — plus
+two-phase collective buffering (:mod:`repro.mpiio.romio`) with
+aggregator selection and file-domain partitioning.
+"""
+
+from repro.mpiio.file import MpiFile
+from repro.mpiio.drivers import DfsDriver, UfsDriver
+
+__all__ = ["MpiFile", "UfsDriver", "DfsDriver"]

@@ -1,0 +1,110 @@
+"""ADIO-like drivers: the per-rank backends MPI-IO dispatches to."""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.daos.vos.payload import Payload
+from repro.dfs.dfs import Dfs
+from repro.posix.vfs import FileSystem
+
+
+class Driver:
+    """One rank's connection to the underlying storage for one file."""
+
+    def open(self, path: str, create: bool, trunc: bool) -> Generator:
+        raise NotImplementedError
+
+    def read_at(self, offset: int, length: int) -> Generator:
+        raise NotImplementedError
+
+    def write_at(self, offset: int, data) -> Generator:
+        raise NotImplementedError
+
+    def size(self) -> Generator:
+        raise NotImplementedError
+
+    def truncate(self, size: int) -> Generator:
+        raise NotImplementedError
+
+    def sync(self) -> Generator:
+        raise NotImplementedError
+
+    def close(self) -> Generator:
+        raise NotImplementedError
+
+
+class UfsDriver(Driver):
+    """ROMIO ``ufs``: plain POSIX calls against a mounted FileSystem
+    (a DFuse mount in the paper's MPI-IO runs; a Lustre client in the
+    baseline)."""
+
+    def __init__(self, mount: FileSystem):
+        self.mount = mount
+        self._handle = None
+
+    def open(self, path: str, create: bool, trunc: bool) -> Generator:
+        flags = {"r", "w"}
+        if create:
+            flags.add("creat")
+        if trunc:
+            flags.add("trunc")
+        self._handle = yield from self.mount.open(path, flags)
+        return None
+
+    def read_at(self, offset: int, length: int) -> Generator:
+        return (yield from self._handle.pread(offset, length))
+
+    def write_at(self, offset: int, data) -> Generator:
+        return (yield from self._handle.pwrite(offset, data))
+
+    def size(self) -> Generator:
+        return (yield from self._handle.size())
+
+    def truncate(self, size: int) -> Generator:
+        yield from self._handle.truncate(size)
+        return None
+
+    def sync(self) -> Generator:
+        yield from self._handle.fsync()
+        return None
+
+    def close(self) -> Generator:
+        yield from self._handle.close()
+        return None
+
+
+class DfsDriver(Driver):
+    """The DAOS-native ROMIO driver: straight to libdfs, no FUSE."""
+
+    def __init__(self, dfs: Dfs):
+        self.dfs = dfs
+        self._file = None
+
+    def open(self, path: str, create: bool, trunc: bool) -> Generator:
+        self._file = yield from self.dfs.open_file(
+            path, create=create, trunc=trunc
+        )
+        return None
+
+    def read_at(self, offset: int, length: int) -> Generator:
+        return (yield from self._file.read(offset, length))
+
+    def write_at(self, offset: int, data) -> Generator:
+        return (yield from self._file.write(offset, data))
+
+    def size(self) -> Generator:
+        return (yield from self._file.get_size())
+
+    def truncate(self, size: int) -> Generator:
+        yield from self._file.truncate(size)
+        return None
+
+    def sync(self) -> Generator:
+        yield from self._file.sync()
+        return None
+
+    def close(self) -> Generator:
+        self._file.close()
+        return None
+        yield  # pragma: no cover - keeps this a generator

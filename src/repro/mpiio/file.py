@@ -1,0 +1,115 @@
+"""The MPI_File layer.
+
+Open/close are collective over the job's communicator (mirroring
+``MPI_File_open``); data operations come in independent
+(``read_at``/``write_at``) and collective (``read_at_all``/
+``write_at_all``) flavours. Each rank owns a driver instance bound to
+its node's mount, exactly how ROMIO drivers hold per-process state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.errors import MpiError
+from repro.mpi.runtime import RankCtx
+from repro.mpiio.drivers import Driver
+from repro.mpiio.romio import DEFAULT_CB_BUFFER, collective_read, collective_write
+
+
+class MpiFile:
+    """One rank's handle on a (possibly shared) MPI-IO file."""
+
+    def __init__(self, ctx: RankCtx, driver: Driver, path: str,
+                 cb_buffer: int = DEFAULT_CB_BUFFER):
+        self.ctx = ctx
+        self.driver = driver
+        self.path = path
+        self.cb_buffer = cb_buffer
+        self._open = False
+
+    # ------------------------------------------------------------- lifecycle
+    @classmethod
+    def open(
+        cls,
+        ctx: RankCtx,
+        path: str,
+        driver: Driver,
+        create: bool = False,
+        trunc: bool = False,
+        cb_buffer: int = DEFAULT_CB_BUFFER,
+    ) -> Generator:
+        """Task helper (collective): open the file on every rank.
+
+        When all ranks open the same path (shared file), creation is
+        performed by rank 0 before the others open, avoiding a create
+        storm on one directory entry (ROMIO does the same). When ranks
+        open distinct paths (file-per-process jobs, which IOR drives
+        with MPI_COMM_SELF), every rank creates its own file."""
+        handle = cls(ctx, driver, path, cb_buffer)
+        paths = yield from ctx.allgather(path, nbytes=128)
+        shared = all(p == paths[0] for p in paths)
+        if not shared:
+            yield from driver.open(path, create=create, trunc=trunc)
+        elif create and ctx.rank == 0:
+            yield from driver.open(path, create=True, trunc=trunc)
+            yield from ctx.barrier()
+        else:
+            if create:
+                yield from ctx.barrier()
+            yield from driver.open(path, create=False, trunc=False)
+        handle._open = True
+        return handle
+
+    def close(self) -> Generator:
+        """Task helper (collective)."""
+        self._require_open()
+        yield from self.driver.close()
+        yield from self.ctx.barrier()
+        self._open = False
+        return None
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise MpiError(f"file {self.path!r} is not open")
+
+    # ------------------------------------------------------------- independent
+    def read_at(self, offset: int, length: int) -> Generator:
+        self._require_open()
+        return (yield from self.driver.read_at(offset, length))
+
+    def write_at(self, offset: int, data) -> Generator:
+        self._require_open()
+        return (yield from self.driver.write_at(offset, data))
+
+    # ------------------------------------------------------------- collective
+    def read_at_all(self, offset: int, length: int) -> Generator:
+        self._require_open()
+        return (
+            yield from collective_read(
+                self.ctx, self.driver, offset, length, self.cb_buffer
+            )
+        )
+
+    def write_at_all(self, offset: int, data) -> Generator:
+        self._require_open()
+        return (
+            yield from collective_write(
+                self.ctx, self.driver, offset, data, self.cb_buffer
+            )
+        )
+
+    # ------------------------------------------------------------- misc
+    def get_size(self) -> Generator:
+        self._require_open()
+        return (yield from self.driver.size())
+
+    def set_size(self, size: int) -> Generator:
+        self._require_open()
+        yield from self.driver.truncate(size)
+        return None
+
+    def sync(self) -> Generator:
+        self._require_open()
+        yield from self.driver.sync()
+        return None

@@ -1,0 +1,29 @@
+"""Fluid-flow network and fabric models.
+
+The bandwidth model follows the SimGrid school of network simulation:
+long-lived *flows* traverse capacity-constrained *links* and receive a
+max-min fair share, recomputed whenever the flow population changes.
+A flow can consume a different fraction of its rate on each link (a
+stream striped over *k* storage targets puts only 1/k of its bytes on
+each target), which is what lets a single flow model a DAOS object-class
+stripe exactly.
+
+:mod:`repro.network.fabric` builds per-node NIC links plus a message
+latency model; :mod:`repro.network.ofi` layers OFI-like endpoints (tagged
+messages, RPC, bulk RDMA) on top.
+"""
+
+from repro.network.flows import FlowNetwork, Link, Flow
+from repro.network.fabric import Fabric, NodeAddr
+from repro.network.ofi import Endpoint, Rpc, RpcServer
+
+__all__ = [
+    "FlowNetwork",
+    "Link",
+    "Flow",
+    "Fabric",
+    "NodeAddr",
+    "Endpoint",
+    "Rpc",
+    "RpcServer",
+]

@@ -1,0 +1,109 @@
+"""Cluster fabric: nodes, NIC links, and the message latency model.
+
+The fabric assumes a non-blocking fat-tree / dragonfly-class core (true of
+NEXTGenIO's Omni-Path deployment at the scales benchmarked), so contention
+is modelled at the NIC endpoints only. Every node gets a transmit link and
+a receive link in the shared :class:`~repro.network.flows.FlowNetwork`;
+bulk data movement opens flows across those links (plus storage-device
+links supplied by the caller), while small control messages pay a simple
+latency + serialization delay without occupying flow capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.network.flows import FlowNetwork, Link
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class NodeAddr:
+    """Opaque handle for a node attached to the fabric."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Fabric:
+    """Nodes + NIC links + latency model + endpoint registry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        base_latency: float = 1.5e-6,
+        msg_bandwidth: float = 11e9,
+        software_overhead: float = 0.8e-6,
+    ):
+        self.sim = sim
+        self.flownet = FlowNetwork(sim)
+        #: one-way wire latency between any two distinct nodes
+        self.base_latency = base_latency
+        #: serialization bandwidth applied to small (non-flow) messages
+        self.msg_bandwidth = msg_bandwidth
+        #: per-message CPU cost at each end (libfabric + provider stack)
+        self.software_overhead = software_overhead
+        self._nodes: Dict[str, Tuple[Link, Link]] = {}
+        self._endpoints: Dict[str, "object"] = {}
+
+    # -- topology ------------------------------------------------------------
+    def add_node(self, name: str, nic_bw: float, rails: int = 1) -> NodeAddr:
+        """Attach a node with ``rails`` NIC rails of ``nic_bw`` bytes/s each.
+
+        Multi-rail adapters are aggregated into a single tx and a single rx
+        link of summed capacity (DAOS and MPI both stripe bulk transfers
+        over rails).
+        """
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node {name!r}")
+        total = nic_bw * rails
+        tx = self.flownet.add_link(f"nic_tx:{name}", total)
+        rx = self.flownet.add_link(f"nic_rx:{name}", total)
+        self._nodes[name] = (tx, rx)
+        return NodeAddr(name)
+
+    def nic_tx(self, addr: NodeAddr) -> Link:
+        return self._node_links(addr)[0]
+
+    def nic_rx(self, addr: NodeAddr) -> Link:
+        return self._node_links(addr)[1]
+
+    def _node_links(self, addr: NodeAddr) -> Tuple[Link, Link]:
+        try:
+            return self._nodes[addr.name]
+        except KeyError:
+            raise NetworkError(f"unknown node {addr!r}") from None
+
+    # -- control messages -------------------------------------------------------
+    def msg_delay(self, src: NodeAddr, dst: NodeAddr, nbytes: int) -> float:
+        """One-way delivery delay for a small control message."""
+        if src.name == dst.name:
+            # loopback: software only
+            return 2 * self.software_overhead
+        return (
+            self.base_latency
+            + 2 * self.software_overhead
+            + nbytes / self.msg_bandwidth
+        )
+
+    # -- endpoint registry -------------------------------------------------------
+    def register_endpoint(self, name: str, endpoint: "object") -> None:
+        if name in self._endpoints:
+            raise NetworkError(f"duplicate endpoint {name!r}")
+        self._endpoints[name] = endpoint
+
+    def endpoint(self, name: str) -> "object":
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {name!r}") from None
+
+    def has_endpoint(self, name: str) -> bool:
+        return name in self._endpoints
+
+    def deregister_endpoint(self, name: str) -> None:
+        self._endpoints.pop(name, None)

@@ -1,0 +1,185 @@
+"""OFI-like messaging endpoints: tagged messages, RPC, and bulk RDMA.
+
+DAOS uses Mercury/CART over libfabric; MPI uses its own transport. Both
+reduce, for simulation purposes, to the three primitives provided here:
+
+- :meth:`Endpoint.send` / :meth:`Endpoint.recv` — asynchronous message
+  passing with latency + serialization delay,
+- :class:`Rpc` / :class:`RpcServer` — request/response with a server-side
+  handler task per request (handlers are generators and may perform
+  arbitrary simulated work before replying),
+- bulk transfers — RDMA-style byte movement expressed as fluid flows;
+  the *caller* decides which links the flow crosses (client NIC, server
+  NIC, storage target...), because only the storage layer knows the
+  placement fan-out.
+
+Message payloads are ordinary Python objects (they are never serialized
+for real); ``nbytes`` tells the model how large the wire message would be.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.errors import NetworkError
+from repro.network.fabric import Fabric, NodeAddr
+from repro.sim.core import Simulator
+from repro.sim.sync import Gate, Queue
+
+_rpc_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A delivered message: sender endpoint name, tag, payload."""
+
+    src: str
+    tag: str
+    payload: Any
+    nbytes: int = 0
+
+
+class Endpoint:
+    """A named mailbox attached to a fabric node."""
+
+    def __init__(self, fabric: Fabric, addr: NodeAddr, name: str):
+        self.fabric = fabric
+        self.sim: Simulator = fabric.sim
+        self.addr = addr
+        self.name = name
+        self._inbox: Queue = Queue(self.sim)
+        self._tagged: Dict[str, Queue] = {}
+        fabric.register_endpoint(name, self)
+
+    # -- send/recv ---------------------------------------------------------
+    def send(self, dst: str, payload: Any, nbytes: int = 64, tag: str = "") -> None:
+        """Asynchronously deliver ``payload`` to endpoint ``dst``."""
+        target = self.fabric.endpoint(dst)
+        if not isinstance(target, Endpoint):
+            raise NetworkError(f"endpoint {dst!r} is not a message endpoint")
+        delay = self.fabric.msg_delay(self.addr, target.addr, nbytes)
+        message = Message(src=self.name, tag=tag, payload=payload, nbytes=nbytes)
+        self.sim.schedule(delay, target._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        if message.tag:
+            queue = self._tagged.get(message.tag)
+            if queue is None:
+                queue = self._tagged[message.tag] = Queue(self.sim)
+            queue.put(message)
+        else:
+            self._inbox.put(message)
+
+    def recv(self, tag: str = ""):
+        """Awaitable for the next message (optionally on a specific tag)."""
+        if tag:
+            queue = self._tagged.get(tag)
+            if queue is None:
+                queue = self._tagged[tag] = Queue(self.sim)
+            return queue.get()
+        return self._inbox.get()
+
+    def close(self) -> None:
+        self.fabric.deregister_endpoint(self.name)
+
+
+class RpcServer(Endpoint):
+    """Endpoint that dispatches requests to registered handler generators.
+
+    A handler has signature ``handler(src_name, **args) -> generator`` and
+    its return value becomes the RPC reply. Handler exceptions are shipped
+    back to the caller and re-raised there, mirroring how a real RPC stack
+    surfaces remote faults.
+    """
+
+    def __init__(self, fabric: Fabric, addr: NodeAddr, name: str):
+        super().__init__(fabric, addr, name)
+        self._handlers: Dict[str, Callable[..., Generator]] = {}
+        self._dispatcher = self.sim.spawn(self._dispatch_loop(), f"rpc:{name}")
+        #: simulated per-request server CPU cost before the handler runs
+        self.dispatch_overhead = 0.5e-6
+
+    def register(self, op: str, handler: Callable[..., Generator]) -> None:
+        self._handlers[op] = handler
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            message = yield self.recv(tag="rpc-req")
+            self.sim.spawn(
+                self._serve(message), f"rpc:{self.name}:{message.payload['op']}"
+            )
+
+    def _serve(self, message: Message) -> Generator:
+        request = message.payload
+        op = request["op"]
+        rpc_id = request["id"]
+        reply_to = request["reply_to"]
+        handler = self._handlers.get(op)
+        yield self.dispatch_overhead
+        if handler is None:
+            outcome = ("err", NetworkError(f"{self.name}: no handler for {op!r}"))
+        else:
+            try:
+                result = yield self.sim.spawn(
+                    handler(message.src, **request["args"]),
+                    f"h:{self.name}:{op}",
+                )
+                outcome = ("ok", result)
+            except Exception as exc:  # noqa: BLE001 - shipped to caller
+                outcome = ("err", exc)
+        self.send(
+            reply_to,
+            {"id": rpc_id, "outcome": outcome},
+            nbytes=request.get("rep_bytes", 256),
+            tag="rpc-rep",
+        )
+
+
+class Rpc:
+    """Client-side RPC helper bound to an :class:`Endpoint`."""
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self._pending: Dict[int, Gate] = {}
+        self._collector = self.sim.spawn(
+            self._collect_loop(), f"rpc-cli:{endpoint.name}"
+        )
+
+    def _collect_loop(self) -> Generator:
+        while True:
+            message = yield self.endpoint.recv(tag="rpc-rep")
+            gate = self._pending.pop(message.payload["id"], None)
+            if gate is not None:
+                gate.open(message.payload["outcome"])
+
+    def call(
+        self,
+        dst: str,
+        op: str,
+        args: Optional[dict] = None,
+        req_bytes: int = 256,
+        rep_bytes: int = 256,
+    ) -> Generator:
+        """Task helper: ``result = yield from rpc.call(...)``."""
+        rpc_id = next(_rpc_ids)
+        gate = Gate(self.sim)
+        self._pending[rpc_id] = gate
+        self.endpoint.send(
+            dst,
+            {
+                "op": op,
+                "id": rpc_id,
+                "args": args or {},
+                "reply_to": self.endpoint.name,
+                "rep_bytes": rep_bytes,
+            },
+            nbytes=req_bytes,
+            tag="rpc-req",
+        )
+        status, value = yield gate
+        if status == "err":
+            raise value
+        return value

@@ -1,0 +1,11 @@
+"""The POSIX-ish VFS abstraction shared by DFuse and the Lustre client.
+
+Anything written against :class:`~repro.posix.vfs.FileSystem` — the IOR
+POSIX backend, the MPI-IO UFS driver, the HDF5 ``sec2`` VFD — runs
+unchanged on either filesystem, which is exactly the substitution the
+paper's benchmarks perform.
+"""
+
+from repro.posix.vfs import FileHandle, FileSystem, StatResult
+
+__all__ = ["FileSystem", "FileHandle", "StatResult"]

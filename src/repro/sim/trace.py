@@ -1,0 +1,65 @@
+"""Lightweight metrics collection for simulated components.
+
+A :class:`Stats` object is a bag of counters, time-weighted gauges and
+simple reservoirs that components update as they run; benchmarks read it
+afterwards. Kept intentionally simple — no background tasks, no I/O.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.core import Simulator
+
+
+@dataclass
+class _Gauge:
+    """Time-weighted gauge: integrates value over simulated time."""
+
+    last_t: float = 0.0
+    value: float = 0.0
+    integral: float = 0.0
+
+    def set(self, now: float, value: float) -> None:
+        self.integral += self.value * (now - self.last_t)
+        self.last_t = now
+        self.value = value
+
+    def mean(self, now: float) -> float:
+        total = self.integral + self.value * (now - self.last_t)
+        return total / now if now > 0 else 0.0
+
+
+@dataclass
+class Stats:
+    """Counters / gauges / samples, namespaced by string keys."""
+
+    sim: Simulator
+    counters: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    gauges: Dict[str, _Gauge] = field(default_factory=dict)
+    samples: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+
+    def incr(self, key: str, amount: float = 1.0) -> None:
+        self.counters[key] += amount
+
+    def gauge(self, key: str, value: float) -> None:
+        gauge = self.gauges.get(key)
+        if gauge is None:
+            gauge = self.gauges[key] = _Gauge(last_t=self.sim.now)
+        gauge.set(self.sim.now, value)
+
+    def sample(self, key: str, value: float) -> None:
+        self.samples[key].append(value)
+
+    def count(self, key: str) -> float:
+        return self.counters.get(key, 0.0)
+
+    def gauge_mean(self, key: str) -> float:
+        gauge = self.gauges.get(key)
+        return gauge.mean(self.sim.now) if gauge else 0.0
+
+    def sample_mean(self, key: str) -> float:
+        values = self.samples.get(key)
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,80 @@
+"""Size/time unit helpers used throughout the stack.
+
+Sizes are plain ``int`` bytes; times are ``float`` seconds. IOR-style size
+strings ("1m", "64M", "4k", "1g") use binary units, matching the IOR
+command-line convention (``-t 1m`` means 1 MiB).
+"""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+US = 1e-6
+MS = 1e-3
+
+_SUFFIX = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kib": KiB,
+    "kb": KiB,
+    "m": MiB,
+    "mib": MiB,
+    "mb": MiB,
+    "g": GiB,
+    "gib": GiB,
+    "gb": GiB,
+    "t": TiB,
+    "tib": TiB,
+    "tb": TiB,
+}
+
+
+def parse_size(value: int | str) -> int:
+    """Parse an IOR-style size ("64m", "1g", 4096) into bytes.
+
+    >>> parse_size("1m")
+    1048576
+    >>> parse_size(512)
+    512
+    """
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"negative size: {value}")
+        return value
+    text = value.strip().lower()
+    idx = len(text)
+    while idx > 0 and not text[idx - 1].isdigit():
+        idx -= 1
+    num, suffix = text[:idx], text[idx:].strip()
+    if not num or suffix not in _SUFFIX:
+        raise ValueError(f"cannot parse size {value!r}")
+    return int(num) * _SUFFIX[suffix]
+
+
+def fmt_size(nbytes: float) -> str:
+    """Human-readable binary size string ("1.0 MiB")."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB", "PiB"):
+        if abs(value) < 1024 or unit == "PiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_bw(bytes_per_s: float) -> str:
+    """Format a bandwidth as GiB/s (IOR reports MiB/s; GiB/s reads better
+    at the aggregate scales in the paper)."""
+    return f"{bytes_per_s / GiB:.2f} GiB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

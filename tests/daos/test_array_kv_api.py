@@ -1,0 +1,162 @@
+"""Tests for the libdaos-style Array and flat-KV APIs."""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.daos.array import DaosArray
+from repro.daos.kv import DaosKV
+from repro.daos.oclass import S2
+from repro.daos.vos.payload import PatternPayload
+from repro.errors import DerInval, DerNonexist
+from repro.units import KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return small_cluster(server_nodes=2, client_nodes=1, targets_per_engine=2)
+
+
+@pytest.fixture(scope="module")
+def cont(cluster):
+    client = cluster.new_client(0)
+
+    def setup():
+        pool = yield from client.connect_pool("tank")
+        return (yield from pool.create_container("api-tests", oclass="S2"))
+
+    return cluster.run(setup())
+
+
+def test_array_create_write_read(cluster, cont):
+    def go():
+        arr = yield from DaosArray.create(cont, cell_size=8, chunk_cells=1024)
+        written = yield from arr.write(0, b"x" * 64)
+        data = yield from arr.read(0, 8)
+        size = yield from arr.get_size()
+        arr.close()
+        return written, data.materialize(), size
+
+    written, data, size = cluster.run(go())
+    assert written == 8  # cells
+    assert data == b"x" * 64
+    assert size == 8
+
+
+def test_array_open_recovers_metadata(cluster, cont):
+    def go():
+        arr = yield from DaosArray.create(cont, cell_size=4, chunk_cells=256)
+        yield from arr.write(10, b"abcd" * 3)
+        oid = arr.obj.oid
+        arr.close()
+        reopened = yield from DaosArray.open(cont, oid)
+        data = yield from reopened.read(10, 3)
+        meta = (reopened.cell_size, reopened.chunk_cells)
+        reopened.close()
+        return data.materialize(), meta
+
+    data, meta = cluster.run(go())
+    assert data == b"abcd" * 3
+    assert meta == (4, 256)
+
+
+def test_array_partial_cell_write_rejected(cluster, cont):
+    def go():
+        arr = yield from DaosArray.create(cont, cell_size=8, chunk_cells=16)
+        try:
+            yield from arr.write(0, b"123")
+        except DerInval:
+            return "rejected"
+        finally:
+            arr.close()
+
+    assert cluster.run(go()) == "rejected"
+
+
+def test_array_punch(cluster, cont):
+    def go():
+        arr = yield from DaosArray.create(cont, cell_size=1, chunk_cells=KiB)
+        yield from arr.write(0, b"z" * 100)
+        yield from arr.punch(10, 20)
+        data = yield from arr.read(0, 100)
+        arr.close()
+        return data.materialize()
+
+    data = cluster.run(go())
+    assert data[:10] == b"z" * 10
+    assert data[10:30] == b"\x00" * 20
+    assert data[30:] == b"z" * 70
+
+
+def test_array_large_lazy_io(cluster, cont):
+    def go():
+        arr = yield from DaosArray.create(cont, cell_size=1, chunk_cells=MiB)
+        pattern = PatternPayload(seed=42, origin=0, nbytes=16 * MiB)
+        yield from arr.write(0, pattern)
+        back = yield from arr.read(0, 16 * MiB)
+        size = yield from arr.get_size()
+        arr.close()
+        return back, size
+
+    back, size = cluster.run(go())
+    assert back == PatternPayload(seed=42, origin=0, nbytes=16 * MiB)
+    assert size == 16 * MiB
+
+
+def test_kv_basalong(cluster, cont):
+    def go():
+        kv = yield from DaosKV.create(cont, S2)
+        yield from kv.put("alpha", {"v": 1})
+        yield from kv.put("beta", [1, 2])
+        value = yield from kv.get("alpha")
+        missing = yield from kv.get("gamma", default=None)
+        keys = yield from kv.list()
+        removed = yield from kv.remove("alpha")
+        removed_again = yield from kv.remove("alpha")
+        kv.close()
+        return value, missing, keys, removed, removed_again
+
+    value, missing, keys, removed, removed_again = cluster.run(go())
+    assert value == {"v": 1}
+    assert missing is None
+    assert keys == ["alpha", "beta"]
+    assert removed is True
+    assert removed_again is False
+
+
+def test_kv_get_missing_raises(cluster, cont):
+    def go():
+        kv = yield from DaosKV.create(cont)
+        try:
+            yield from kv.get("void")
+        except DerNonexist:
+            return "raises"
+        finally:
+            kv.close()
+
+    assert cluster.run(go()) == "raises"
+
+
+def test_kv_prefix_listing(cluster, cont):
+    def go():
+        kv = yield from DaosKV.create(cont)
+        for name in ("run.001", "run.002", "cfg.a", "run.010"):
+            yield from kv.put(name, name)
+        runs = yield from kv.list(prefix="run.")
+        kv.close()
+        return runs
+
+    assert cluster.run(go()) == ["run.001", "run.002", "run.010"]
+
+
+def test_kv_reopen_by_oid(cluster, cont):
+    def go():
+        kv = yield from DaosKV.create(cont)
+        yield from kv.put("persist", 7)
+        oid = kv.oid
+        kv.close()
+        kv2 = DaosKV.open(cont, oid)
+        value = yield from kv2.get("persist")
+        kv2.close()
+        return value
+
+    assert cluster.run(go()) == 7

@@ -1,0 +1,112 @@
+"""Unit + property tests for the VOS B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daos.vos.btree import BPlusTree
+
+
+def test_empty_tree():
+    tree = BPlusTree()
+    assert len(tree) == 0
+    assert tree.get("x") is None
+    assert tree.get("x", 5) == 5
+    assert "x" not in tree
+    assert not tree.delete("x")
+    with pytest.raises(KeyError):
+        tree.min_key()
+    with pytest.raises(KeyError):
+        tree.max_key()
+
+
+def test_insert_get_replace():
+    tree = BPlusTree()
+    assert tree.insert("a", 1) is True
+    assert tree.insert("a", 2) is False  # replace
+    assert tree.get("a") == 2
+    assert len(tree) == 1
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(capacity=2)
+
+
+def test_many_inserts_in_order_and_reverse():
+    for keys in (range(500), reversed(range(500))):
+        tree = BPlusTree(capacity=8)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert len(tree) == 500
+        assert [k for k in tree.keys()] == list(range(500))
+        assert tree.min_key() == 0 and tree.max_key() == 499
+
+
+def test_range_scan_half_open():
+    tree = BPlusTree(capacity=8)
+    for key in range(100):
+        tree.insert(key, str(key))
+    assert list(tree.keys(10, 15)) == [10, 11, 12, 13, 14]
+    assert list(tree.keys(95)) == [95, 96, 97, 98, 99]
+    assert list(tree.keys(None, 3)) == [0, 1, 2]
+    assert list(tree.keys(40, 40)) == []
+
+
+def test_range_scan_with_missing_bounds():
+    tree = BPlusTree(capacity=4)
+    for key in (10, 20, 30, 40, 50):
+        tree.insert(key, key)
+    assert list(tree.keys(15, 45)) == [20, 30, 40]
+
+
+def test_delete_rebalances():
+    tree = BPlusTree(capacity=4)
+    keys = list(range(200))
+    for key in keys:
+        tree.insert(key, key)
+    # delete every other key, checking invariants as we go
+    for key in keys[::2]:
+        assert tree.delete(key)
+        tree.check_invariants()
+    assert len(tree) == 100
+    assert list(tree.keys()) == keys[1::2]
+    for key in keys[1::2]:
+        assert tree.delete(key)
+    assert len(tree) == 0
+    tree.check_invariants()
+
+
+def test_bytes_keys():
+    tree = BPlusTree(capacity=4)
+    names = [f"file.{i:04d}".encode() for i in range(50)]
+    for name in names:
+        tree.insert(name, name.decode())
+    assert list(tree.keys()) == sorted(names)
+    assert tree.get(b"file.0031") == "file.0031"
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 120)),
+        max_size=300,
+    ),
+    capacity=st.sampled_from([4, 5, 8, 32]),
+)
+def test_property_matches_dict_model(ops, capacity):
+    tree = BPlusTree(capacity=capacity)
+    model = {}
+    for op, key in ops:
+        if op == "ins":
+            assert tree.insert(key, key * 3) == (key not in model)
+            model[key] = key * 3
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    assert list(tree.items()) == sorted(model.items())
+    for key in range(121):
+        assert tree.get(key) == model.get(key)

@@ -1,0 +1,252 @@
+"""Erasure-coded object classes: parity, degraded reads, geometry."""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.daos.oclass import EC_2P1G1, EC_4P1G1, S2, oclass_by_name
+from repro.daos.vos.payload import (
+    BytesPayload,
+    PatternPayload,
+    XorPayload,
+    ZeroPayload,
+)
+from repro.errors import DerInval, DerNonexist
+from repro.units import KiB, MiB
+
+
+def test_xor_payload_algebra():
+    a = BytesPayload(bytes(range(16)))
+    b = BytesPayload(bytes(reversed(range(16))))
+    parity = XorPayload([a, b])
+    # XOR of parity with one part recovers the other
+    recovered = XorPayload([parity, a])
+    assert recovered.materialize() == b.materialize()
+    # slicing commutes with XOR
+    assert parity.slice(4, 12).materialize() == parity.materialize()[4:12]
+    with pytest.raises(ValueError):
+        XorPayload([])
+    with pytest.raises(ValueError):
+        XorPayload([a, ZeroPayload(3)])
+
+
+def test_ec_class_geometry():
+    assert EC_2P1G1.group_width == 3
+    assert EC_2P1G1.shard_count(16) == 3
+    assert EC_4P1G1.shard_count(16) == 5
+    assert oclass_by_name("EC_2P1GX").shard_count(16) == 15  # 5 groups x 3
+    assert EC_2P1G1.is_ec and not EC_2P1G1.is_replicated
+    assert not S2.is_ec
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return small_cluster(server_nodes=2, client_nodes=1,
+                         targets_per_engine=2)
+
+
+@pytest.fixture(scope="module")
+def cont(cluster):
+    client = cluster.new_client(0)
+
+    def setup():
+        pool = yield from client.connect_pool("tank")
+        return (yield from pool.create_container("ec-tests",
+                                                 oclass="EC_2P1G1"))
+
+    return cluster.run(setup())
+
+
+def test_ec_write_read_roundtrip(cluster, cont):
+    def go():
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        pattern = PatternPayload(seed=5, origin=0, nbytes=4 * MiB)
+        yield from obj.write(0, pattern, chunk_size=MiB)
+        back = yield from obj.read(0, 4 * MiB, chunk_size=MiB)
+        size = yield from obj.size(chunk_size=MiB)
+        obj.close()
+        return back, size
+
+    back, size = cluster.run(go())
+    assert back == PatternPayload(seed=5, origin=0, nbytes=4 * MiB)
+    assert size == 4 * MiB
+
+
+def test_ec_short_final_stripe(cluster, cont):
+    def go():
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        data = b"q" * (MiB + 300 * KiB)  # one full stripe + a short one
+        yield from obj.write(0, data, chunk_size=MiB)
+        back = yield from obj.read(0, len(data), chunk_size=MiB)
+        size = yield from obj.size(chunk_size=MiB)
+        obj.close()
+        return back.materialize(), size, len(data)
+
+    back, size, expected = cluster.run(go())
+    assert back == b"q" * expected
+    assert size == expected
+
+
+def test_ec_unaligned_write_rejected(cluster, cont):
+    def go():
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        try:
+            yield from obj.write(100, b"x" * KiB, chunk_size=MiB)
+        except DerInval:
+            return "rejected"
+        finally:
+            obj.close()
+
+    assert cluster.run(go()) == "rejected"
+
+
+def test_ec_chunk_not_divisible_rejected(cluster, cont):
+    def go():
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        try:
+            yield from obj.write(0, b"x" * 33, chunk_size=33)  # 33 % 2 != 0
+        except DerInval:
+            return "rejected"
+        finally:
+            obj.close()
+
+    assert cluster.run(go()) == "rejected"
+
+
+def test_ec_degraded_read_reconstructs_content(cluster):
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("ec-degraded",
+                                                oclass="EC_2P1G1")
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        pattern = PatternPayload(seed=9, origin=0, nbytes=2 * MiB)
+        yield from obj.write(0, pattern, chunk_size=MiB)
+        # kill the FIRST data cell's target of chunk 0
+        victim = obj.layout.targets_for_dkey(0)[0]
+        yield from cluster.daos.exclude_target(pool.pool_map.uuid, victim)
+        yield from pool.refresh_map()
+        degraded = cont.open_object(oid)
+        back = yield from degraded.read(0, 2 * MiB, chunk_size=MiB)
+        obj.close()
+        degraded.close()
+        return back, pattern
+
+    back, pattern = cluster.run(go())
+    assert back.materialize() == pattern.materialize()
+
+
+def test_ec_double_failure_fails(cluster):
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("ec-dead",
+                                                oclass="EC_2P1G1")
+        oid = yield from cont.alloc_oid(EC_2P1G1)
+        obj = cont.open_object(oid)
+        yield from obj.write(0, b"d" * MiB, chunk_size=MiB)
+        group = obj.layout.targets_for_dkey(0)
+        # lose one data cell AND the parity: unrecoverable with p=1
+        yield from cluster.daos.exclude_target(pool.pool_map.uuid, group[0])
+        yield from cluster.daos.exclude_target(pool.pool_map.uuid, group[2])
+        yield from pool.refresh_map()
+        degraded = cont.open_object(oid)
+        try:
+            yield from degraded.read(0, MiB, chunk_size=MiB)
+        except DerNonexist:
+            return "lost"
+        finally:
+            obj.close()
+            degraded.close()
+
+    assert cluster.run(go()) == "lost"
+
+
+@pytest.fixture()
+def fresh_cluster():
+    # The exclusion tests above poison the module cluster's pool map;
+    # amplification accounting needs every target live. Enough targets
+    # that aggregate target capacity exceeds the client NIC — the wire,
+    # not target service, must be the binding constraint for the
+    # timing variant below.
+    return small_cluster(server_nodes=2, client_nodes=1,
+                         targets_per_engine=4)
+
+
+def test_ec_write_amplification_in_capacity(fresh_cluster):
+    """EC_2P1 stores 1.5x the bytes of the plain class for the same data."""
+    cluster = fresh_cluster
+    client = cluster.new_client(0)
+
+    def used_delta(oclass_name):
+        def go():
+            pool = yield from client.connect_pool("tank")
+            cont = yield from pool.create_container(
+                f"amp-{oclass_name}", oclass=oclass_name
+            )
+            before = yield from pool.query()
+            oid = yield from cont.alloc_oid()
+            obj = cont.open_object(oid)
+            yield from obj.write(
+                0, PatternPayload(seed=1, origin=0, nbytes=16 * MiB),
+                chunk_size=MiB,
+            )
+            after = yield from pool.query()
+            obj.close()
+            return after["used"] - before["used"]
+
+        return cluster.run(go())
+
+    plain = used_delta("S2")
+    coded = used_delta("EC_2P1G1")
+    assert plain == 16 * MiB
+    assert coded == 24 * MiB  # + one parity cell per stripe
+
+
+def test_ec_write_amplification_in_time_under_nic_saturation(fresh_cluster):
+    """With the client NIC saturated, the 1.5x wire amplification shows
+    up as ~1.5x longer writes."""
+    cluster = fresh_cluster
+    client = cluster.new_client(0)
+
+    def timed(oclass_name):
+        def setup():
+            pool = yield from client.connect_pool("tank")
+            return (
+                yield from pool.create_container(
+                    f"amp-t-{oclass_name}", oclass=oclass_name
+                )
+            )
+
+        cont = cluster.run(setup())
+
+        def writer(i):
+            def go():
+                oid = yield from cont.alloc_oid()
+                obj = cont.open_object(oid)
+                start = cluster.sim.now
+                yield from obj.write(
+                    0, PatternPayload(seed=i, origin=0, nbytes=8 * MiB),
+                    chunk_size=MiB,
+                )
+                elapsed = cluster.sim.now - start
+                obj.close()
+                return elapsed
+
+            return go()
+
+        tasks = [cluster.sim.spawn(writer(i)).defuse() for i in range(12)]
+        return max(cluster.sim.run_until_complete(t) for t in tasks)
+
+    plain = timed("S2")
+    coded = timed("EC_2P1G1")
+    # The full 1.5x only shows when the NIC is the sole constraint; at
+    # this test scale residual target hotspots dilute it, so assert the
+    # direction with margin rather than the asymptote.
+    assert coded > plain * 1.1

@@ -1,0 +1,139 @@
+"""Unit + property tests for the VOS extent tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.daos.vos.extent import ExtentTree
+from repro.daos.vos.payload import BytesPayload, PatternPayload, ZeroPayload
+
+
+def test_write_read_roundtrip():
+    tree = ExtentTree()
+    tree.write(0, b"hello", epoch=1)
+    assert tree.read(0, 5).materialize() == b"hello"
+    assert tree.size == 5
+
+
+def test_read_hole_is_zero_filled():
+    tree = ExtentTree()
+    tree.write(10, b"xy", epoch=1)
+    data = tree.read(8, 6).materialize()
+    assert data == b"\x00\x00xy\x00\x00"
+
+
+def test_read_empty_tree():
+    tree = ExtentTree()
+    assert tree.read(0, 4).materialize() == b"\x00" * 4
+    assert tree.read(5, 0).nbytes == 0
+    assert tree.size == 0
+
+
+def test_overwrite_full():
+    tree = ExtentTree()
+    tree.write(0, b"aaaa", epoch=1)
+    tree.write(0, b"bbbb", epoch=2)
+    assert tree.read(0, 4).materialize() == b"bbbb"
+    assert len(tree) == 1
+    tree.check_invariants()
+
+
+def test_overwrite_partial_splits_old_extent():
+    tree = ExtentTree()
+    tree.write(0, b"aaaaaaaa", epoch=1)
+    tree.write(2, b"BB", epoch=2)
+    assert tree.read(0, 8).materialize() == b"aaBBaaaa"
+    assert len(tree) == 3
+    tree.check_invariants()
+
+
+def test_overwrite_spanning_multiple_extents():
+    tree = ExtentTree()
+    tree.write(0, b"aaaa", epoch=1)
+    tree.write(4, b"bbbb", epoch=2)
+    tree.write(8, b"cccc", epoch=3)
+    tree.write(2, b"XXXXXXXX", epoch=4)
+    assert tree.read(0, 12).materialize() == b"aaXXXXXXXXcc"
+    tree.check_invariants()
+
+
+def test_capacity_delta_accounts_overwrites():
+    tree = ExtentTree()
+    assert tree.write(0, b"aaaa", epoch=1) == 4
+    assert tree.write(2, b"bbbb", epoch=2) == 2  # 2 bytes reclaimed
+    assert tree.used_bytes == 6
+
+
+def test_punch_frees_and_leaves_hole():
+    tree = ExtentTree()
+    tree.write(0, b"abcdefgh", epoch=1)
+    freed = tree.punch(2, 4)
+    assert freed == 4
+    assert tree.read(0, 8).materialize() == b"ab\x00\x00\x00\x00gh"
+    assert tree.punch(100, 5) == 0
+    assert tree.punch(0, 0) == 0
+    tree.check_invariants()
+
+
+def test_negative_offset_rejected():
+    tree = ExtentTree()
+    with pytest.raises(ValueError):
+        tree.write(-1, b"x", epoch=1)
+
+
+def test_zero_length_write_is_noop():
+    tree = ExtentTree()
+    assert tree.write(5, b"", epoch=1) == 0
+    assert tree.size == 0
+
+
+def test_pattern_payloads_stay_lazy_across_overwrite():
+    tree = ExtentTree()
+    tree.write(0, PatternPayload(seed=1, origin=0, nbytes=1024), epoch=1)
+    tree.write(100, PatternPayload(seed=2, origin=100, nbytes=10), epoch=2)
+    out = tree.read(0, 1024)
+    expected = bytearray(PatternPayload(1, 0, 1024).materialize())
+    expected[100:110] = PatternPayload(2, 100, 10).materialize()
+    assert out.materialize() == bytes(expected)
+
+
+def test_sequential_pattern_read_is_coalesced():
+    tree = ExtentTree()
+    for i in range(8):
+        tree.write(i * 64, PatternPayload(seed=9, origin=i * 64, nbytes=64), epoch=i)
+    result = tree.read(0, 512)
+    assert isinstance(result, PatternPayload)
+    assert result.nbytes == 512
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "punch"]),
+            st.integers(0, 200),
+            st.integers(1, 64),
+        ),
+        max_size=60,
+    )
+)
+def test_property_matches_bytearray_model(ops):
+    tree = ExtentTree()
+    model = bytearray(300)
+    written_high = 0
+    epoch = 0
+    for op, offset, length in ops:
+        epoch += 1
+        if op == "write":
+            data = bytes(((offset + i + epoch) % 251 for i in range(length)))
+            tree.write(offset, data, epoch)
+            model[offset : offset + length] = data
+            written_high = max(written_high, offset + length)
+        else:
+            tree.punch(offset, length)
+            model[offset : offset + length] = b"\x00" * length
+        tree.check_invariants()
+    assert tree.read(0, 300).materialize() == bytes(model)
+    assert tree.size <= 300
+    if written_high:
+        assert tree.read(0, written_high).materialize() == bytes(model[:written_high])

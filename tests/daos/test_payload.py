@@ -1,0 +1,111 @@
+"""Tests for lazy payloads."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.daos.vos.payload import (
+    BytesPayload,
+    PatternPayload,
+    ZeroPayload,
+    as_payload,
+    concat_payloads,
+)
+
+
+def test_bytes_payload_roundtrip():
+    payload = BytesPayload(b"hello world")
+    assert payload.nbytes == 11
+    assert payload.materialize() == b"hello world"
+    assert payload.slice(6, 11).materialize() == b"world"
+
+
+def test_bytes_payload_slice_bounds_checked():
+    payload = BytesPayload(b"abc")
+    with pytest.raises(ValueError):
+        payload.slice(0, 4)
+    with pytest.raises(ValueError):
+        payload.slice(-1, 2)
+
+
+def test_zero_payload():
+    payload = ZeroPayload(5)
+    assert payload.materialize() == b"\x00" * 5
+    assert payload.slice(1, 3).nbytes == 2
+    with pytest.raises(ValueError):
+        ZeroPayload(-1)
+
+
+def test_pattern_deterministic_and_position_dependent():
+    a = PatternPayload(seed=7, origin=0, nbytes=64)
+    b = PatternPayload(seed=7, origin=0, nbytes=64)
+    assert a.materialize() == b.materialize()
+    shifted = PatternPayload(seed=7, origin=1, nbytes=64)
+    assert a.materialize() != shifted.materialize()
+    other_seed = PatternPayload(seed=8, origin=0, nbytes=64)
+    assert a.materialize() != other_seed.materialize()
+
+
+def test_pattern_slice_matches_materialized_slice():
+    payload = PatternPayload(seed=3, origin=100, nbytes=256)
+    window = payload.slice(17, 203)
+    assert window.materialize() == payload.materialize()[17:203]
+
+
+def test_pattern_equality_is_structural():
+    a = PatternPayload(seed=1, origin=10, nbytes=5)
+    b = PatternPayload(seed=1, origin=10, nbytes=5)
+    assert a == b
+    assert a != PatternPayload(seed=1, origin=11, nbytes=5)
+
+
+def test_cross_type_equality_by_content():
+    zero_bytes = BytesPayload(b"\x00\x00\x00")
+    assert ZeroPayload(3) == zero_bytes
+    pattern = PatternPayload(seed=5, origin=0, nbytes=8)
+    assert BytesPayload(pattern.materialize()) == pattern
+
+
+def test_as_payload_wraps_and_passes_through():
+    payload = as_payload(b"xy")
+    assert isinstance(payload, BytesPayload)
+    assert as_payload(payload) is payload
+    with pytest.raises(TypeError):
+        as_payload(123)
+
+
+def test_concat_coalesces_adjacent_patterns():
+    a = PatternPayload(seed=2, origin=0, nbytes=10)
+    b = PatternPayload(seed=2, origin=10, nbytes=6)
+    merged = concat_payloads([a, b])
+    assert isinstance(merged, PatternPayload)
+    assert merged.nbytes == 16
+    assert merged.materialize() == a.materialize() + b.materialize()
+
+
+def test_concat_coalesces_zeros_and_mixes():
+    merged = concat_payloads([ZeroPayload(4), ZeroPayload(3)])
+    assert isinstance(merged, ZeroPayload) and merged.nbytes == 7
+    mixed = concat_payloads([BytesPayload(b"ab"), ZeroPayload(2)])
+    assert mixed.materialize() == b"ab\x00\x00"
+
+
+def test_concat_empty_and_zero_length_parts():
+    assert concat_payloads([]).nbytes == 0
+    merged = concat_payloads([BytesPayload(b""), BytesPayload(b"q")])
+    assert merged.materialize() == b"q"
+
+
+@given(
+    seed=st.integers(0, 2**32),
+    origin=st.integers(0, 2**40),
+    nbytes=st.integers(0, 512),
+    cut=st.integers(0, 512),
+)
+def test_property_pattern_slicing_consistent(seed, origin, nbytes, cut):
+    payload = PatternPayload(seed, origin, nbytes)
+    cut = min(cut, nbytes)
+    left, right = payload.slice(0, cut), payload.slice(cut, nbytes)
+    assert left.materialize() + right.materialize() == payload.materialize()
+    rejoined = concat_payloads([left, right])
+    assert rejoined == payload or rejoined.materialize() == payload.materialize()

@@ -1,0 +1,32 @@
+"""Property test for DFuse request-window segmentation (pure logic)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import MiB
+
+
+class _Shim:
+    max_transfer = MiB
+    from repro.dfuse.fuse import DFuseMount as _M
+
+    _windows = _M._windows
+
+
+@settings(max_examples=100, deadline=None)
+@given(offset=st.integers(0, 16 * MiB), length=st.integers(0, 8 * MiB))
+def test_property_windows_partition_range(offset, length):
+    shim = _Shim()
+    windows = shim._windows(offset, length)
+    cursor = offset
+    for w_offset, take in windows:
+        assert w_offset == cursor
+        assert take > 0
+        assert take <= MiB
+        # a window never crosses an aligned MiB boundary
+        assert (w_offset % MiB) + take <= MiB
+        cursor += take
+    assert cursor == offset + length
+    # aligned full-MiB requests are single windows
+    if offset % MiB == 0 and length == MiB:
+        assert len(windows) == 1

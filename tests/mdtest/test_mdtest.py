@@ -1,0 +1,53 @@
+"""mdtest tests: correctness and the MDS-vs-distributed-KV contrast."""
+
+import pytest
+
+from repro.cluster import build_lustre_cluster, small_cluster
+from repro.hardware.specs import EngineSpec
+from repro.mdtest import MdtestParams, run_mdtest
+
+
+def test_mdtest_on_daos_reports_all_phases():
+    cluster = small_cluster(server_nodes=2, client_nodes=2,
+                            targets_per_engine=2)
+    params = MdtestParams(files_per_rank=16)
+    result = run_mdtest(cluster, params, ppn=2)
+    assert set(result.rates) == {"create", "stat", "remove"}
+    assert all(rate > 0 for rate in result.rates.values())
+    assert result.nprocs == 4
+
+
+def test_mdtest_with_tiny_writes():
+    cluster = small_cluster(server_nodes=2, client_nodes=1,
+                            targets_per_engine=2)
+    params = MdtestParams(files_per_rank=8, write_bytes=4096)
+    result = run_mdtest(cluster, params, ppn=2)
+    assert result.rates["create"] > 0
+
+
+def test_mdtest_on_lustre_and_daos_scales_differently():
+    """More clients: DAOS metadata rate keeps growing (distributed KV),
+    the single Lustre MDS saturates."""
+    files = 32
+
+    def daos_rate(nodes):
+        cluster = small_cluster(server_nodes=2, client_nodes=nodes,
+                                targets_per_engine=4)
+        result = run_mdtest(
+            cluster, MdtestParams(files_per_rank=files), ppn=8
+        )
+        return result.rates["create"]
+
+    def lustre_rate(nodes):
+        cluster = build_lustre_cluster(
+            server_nodes=2, client_nodes=nodes,
+            engine_spec=EngineSpec(targets=4),
+        )
+        result = run_mdtest(
+            cluster, MdtestParams(files_per_rank=files), ppn=8
+        )
+        return result.rates["create"]
+
+    daos_speedup = daos_rate(4) / daos_rate(1)
+    lustre_speedup = lustre_rate(4) / lustre_rate(1)
+    assert daos_speedup > lustre_speedup

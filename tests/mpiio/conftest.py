@@ -1,0 +1,44 @@
+"""Shared wiring: a small DAOS cluster + MPI world + per-rank mounts."""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.dfs import Dfs
+from repro.dfuse import DFuseMount
+from repro.mpi import MpiWorld
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return small_cluster(server_nodes=2, client_nodes=2, targets_per_engine=2)
+
+
+@pytest.fixture(scope="module")
+def cont_label(cluster):
+    client = cluster.new_client(0)
+
+    def setup():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("mpiio-cont", oclass="S2")
+        yield from Dfs.mount(cont)  # pre-format so rank mounts are clean
+        return "mpiio-cont"
+
+    return cluster.run(setup())
+
+
+@pytest.fixture()
+def world(cluster):
+    return MpiWorld(cluster.sim, cluster.fabric, cluster.clients, ppn=2)
+
+
+def make_rank_mount(cluster, cont_label, ctx):
+    """Task helper: per-rank DFuse mount over a fresh client context."""
+    client = cluster.new_client(cluster.clients.index(ctx.node))
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.open_container(cont_label)
+        dfs = yield from Dfs.mount(cont)
+        return DFuseMount(dfs), dfs
+
+    return go()

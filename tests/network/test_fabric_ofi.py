@@ -1,0 +1,206 @@
+"""Tests for the fabric latency model and OFI-like endpoints/RPC."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network import Endpoint, Fabric, Rpc, RpcServer
+from repro.sim import Simulator
+
+
+def make_fabric():
+    sim = Simulator()
+    fabric = Fabric(sim, base_latency=1e-6, msg_bandwidth=1e9,
+                    software_overhead=0.5e-6)
+    return sim, fabric
+
+
+def test_duplicate_node_rejected():
+    sim, fabric = make_fabric()
+    fabric.add_node("n0", 1e9)
+    with pytest.raises(NetworkError):
+        fabric.add_node("n0", 1e9)
+
+
+def test_nic_links_have_aggregated_rail_capacity():
+    sim, fabric = make_fabric()
+    addr = fabric.add_node("n0", 10e9, rails=2)
+    assert fabric.nic_tx(addr).capacity == pytest.approx(20e9)
+    assert fabric.nic_rx(addr).capacity == pytest.approx(20e9)
+
+
+def test_msg_delay_components():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    b = fabric.add_node("b", 1e9)
+    delay = fabric.msg_delay(a, b, 1000)
+    # latency 1us + 2*0.5us software + 1000B/1GBps = 1us
+    assert delay == pytest.approx(3e-6)
+    # loopback skips the wire
+    assert fabric.msg_delay(a, a, 1000) == pytest.approx(1e-6)
+
+
+def test_endpoint_send_recv_roundtrip():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    b = fabric.add_node("b", 1e9)
+    ep_a = Endpoint(fabric, a, "ep-a")
+    ep_b = Endpoint(fabric, b, "ep-b")
+
+    def receiver():
+        message = yield ep_b.recv()
+        return (message.src, message.payload, sim.now)
+
+    task = sim.spawn(receiver())
+    ep_a.send("ep-b", {"x": 1}, nbytes=100)
+    sim.run()
+    src, payload, t = task.result
+    assert src == "ep-a" and payload == {"x": 1}
+    assert t > 0
+
+
+def test_tagged_recv_separates_streams():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    ep = Endpoint(fabric, a, "ep")
+    ep2 = Endpoint(fabric, a, "ep2")
+
+    def receiver():
+        msg_b = yield ep.recv(tag="beta")
+        msg_a = yield ep.recv(tag="alpha")
+        return [msg_a.payload, msg_b.payload]
+
+    task = sim.spawn(receiver())
+    ep2.send("ep", "A", tag="alpha")
+    ep2.send("ep", "B", tag="beta")
+    sim.run()
+    assert task.result == ["A", "B"]
+
+
+def test_unknown_endpoint_raises():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    ep = Endpoint(fabric, a, "ep")
+    with pytest.raises(NetworkError):
+        ep.send("nowhere", "x")
+
+
+def test_rpc_roundtrip_and_handler_work():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    b = fabric.add_node("b", 1e9)
+    server = RpcServer(fabric, b, "srv")
+
+    def handle_add(_src, x, y):
+        yield 1e-3  # simulated service time
+        return x + y
+
+    server.register("add", handle_add)
+    client = Rpc(Endpoint(fabric, a, "cli"))
+
+    def caller():
+        result = yield from client.call("srv", "add", {"x": 2, "y": 3})
+        return (result, sim.now)
+
+    task = sim.spawn(caller())
+    sim.run()
+    result, t = task.result
+    assert result == 5
+    assert t >= 1e-3  # at least the service time plus two message delays
+
+
+def test_rpc_handler_exception_propagates_to_caller():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    server = RpcServer(fabric, a, "srv")
+
+    def handler(_src):
+        yield 0.0
+        raise ValueError("remote failure")
+
+    server.register("boom", handler)
+    client = Rpc(Endpoint(fabric, a, "cli"))
+
+    def caller():
+        try:
+            yield from client.call("srv", "boom")
+        except ValueError as exc:
+            return str(exc)
+
+    task = sim.spawn(caller())
+    sim.run()
+    assert task.result == "remote failure"
+
+
+def test_rpc_unknown_op_is_error():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    RpcServer(fabric, a, "srv")
+    client = Rpc(Endpoint(fabric, a, "cli"))
+
+    def caller():
+        try:
+            yield from client.call("srv", "nope")
+        except NetworkError:
+            return "err"
+
+    task = sim.spawn(caller())
+    sim.run()
+    assert task.result == "err"
+
+
+def test_concurrent_rpcs_matched_by_id():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    b = fabric.add_node("b", 1e9)
+    server = RpcServer(fabric, b, "srv")
+
+    def handler(_src, delay, token):
+        yield delay
+        return token
+
+    server.register("echo", handler)
+    client = Rpc(Endpoint(fabric, a, "cli"))
+
+    def caller(delay, token):
+        result = yield from client.call(
+            "srv", "echo", {"delay": delay, "token": token}
+        )
+        return result
+
+    slow = sim.spawn(caller(1e-2, "slow"))
+    fast = sim.spawn(caller(1e-4, "fast"))
+    sim.run()
+    assert slow.result == "slow"
+    assert fast.result == "fast"
+
+
+def test_server_node_builds_links():
+    from repro.hardware import ServerNode, nextgenio_node
+
+    sim, fabric = make_fabric()
+    node = ServerNode(fabric, "srv0", nextgenio_node(server=True))
+    assert len(node.engines) == 2
+    targets = node.all_targets()
+    assert len(targets) == 16
+    engine = node.engines[0]
+    assert engine.media_read.capacity > engine.media_write.capacity
+    t = targets[0]
+    assert t.read_link.capacity == pytest.approx(3.6e9)
+    assert t.write_link.capacity == pytest.approx(2.2e9)
+    assert t.node is node
+
+
+def test_client_node_has_no_engines():
+    from repro.hardware import ClientNode, nextgenio_node
+
+    sim, fabric = make_fabric()
+    node = ClientNode(fabric, "c0", nextgenio_node(server=False))
+    assert node.nic_tx.capacity == pytest.approx(22e9)
+
+
+def test_engine_spec_media_bandwidths():
+    from repro.hardware import EngineSpec
+
+    spec = EngineSpec()
+    assert spec.media_read_bw == pytest.approx(6 * 6.8e9 * 0.80)
+    assert spec.media_write_bw == pytest.approx(6 * 2.3e9 * 0.75)

@@ -1,0 +1,56 @@
+"""Tests for size/time helpers."""
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    fmt_bw,
+    fmt_size,
+    fmt_time,
+    parse_size,
+)
+
+
+def test_parse_size_suffixes():
+    assert parse_size("1m") == MiB
+    assert parse_size("64M") == 64 * MiB
+    assert parse_size("4k") == 4 * KiB
+    assert parse_size("2g") == 2 * GiB
+    assert parse_size("1t") == TiB
+    assert parse_size("3mib") == 3 * MiB
+    assert parse_size("7b") == 7
+    assert parse_size("123") == 123
+    assert parse_size(512) == 512
+
+
+def test_parse_size_whitespace_and_case():
+    assert parse_size("  8 K ") == 8 * KiB
+    assert parse_size("1GB") == GiB
+
+
+def test_parse_size_errors():
+    with pytest.raises(ValueError):
+        parse_size("abc")
+    with pytest.raises(ValueError):
+        parse_size("12q")
+    with pytest.raises(ValueError):
+        parse_size("")
+    with pytest.raises(ValueError):
+        parse_size(-1)
+
+
+def test_fmt_size():
+    assert fmt_size(512) == "512 B"
+    assert fmt_size(1536) == "1.5 KiB"
+    assert fmt_size(MiB) == "1.0 MiB"
+    assert fmt_size(5 * TiB) == "5.0 TiB"
+
+
+def test_fmt_bw_and_time():
+    assert fmt_bw(GiB) == "1.00 GiB/s"
+    assert fmt_time(5e-7) == "0.5 us"
+    assert fmt_time(2e-3) == "2.00 ms"
+    assert fmt_time(1.5) == "1.500 s"
