@@ -1,0 +1,26 @@
+# Convenience entry points. Everything runs offline on the baked-in
+# python toolchain; PYTHONPATH=src avoids needing an editable install.
+
+PY ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+# Pinned seed matrix for the chaos suite; override per-run:
+#   CHAOS_SEEDS="1 2 0xBEEF" make chaos
+CHAOS_SEEDS ?= 0xDA05 1 7
+export CHAOS_SEEDS
+
+.PHONY: test chaos bench all
+
+# Tier-1: the full fast suite (chaos determinism/scenario tests included).
+test:
+	$(PY) -m pytest -x -q
+
+# The chaos suite alone, against the pinned seed matrix.
+chaos:
+	$(PY) -m pytest -q -m chaos tests/faults
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+all: test chaos

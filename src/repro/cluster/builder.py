@@ -36,6 +36,14 @@ class Cluster:
         task = self.sim.spawn(gen)
         return self.sim.run_until_complete(task, limit=limit)
 
+    def inject(self, schedule, trace=None):
+        """Arm a :class:`~repro.faults.FaultSchedule` on this cluster;
+        returns the armed :class:`~repro.faults.FaultInjector` (its
+        ``trace`` carries the deterministic event record)."""
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self, schedule, trace=trace).arm()
+
 
 def build_cluster(
     server_nodes: int,

@@ -99,6 +99,12 @@ class RaftNode:
         self.match_index: Dict[str, int] = {}
         self.applied_results: List[Any] = []
 
+        #: observer record for safety checking: every (term, node_id) at
+        #: which this node won an election. Not Raft state — never reset,
+        #: not even by restart — so invariant checkers can assert election
+        #: safety across the whole run (repro.faults.invariants).
+        self.leadership_history: List[tuple] = []
+
         self._alive = True
         self._timer_generation = 0
         self._votes = 0
@@ -181,6 +187,7 @@ class RaftNode:
     def _become_leader(self) -> None:
         self.state = LEADER
         self.leader_hint = self.node_id
+        self.leadership_history.append((self.current_term, self.node_id))
         for peer in self.peer_names:
             self.next_index[peer] = self.last_log_index + 1
             self.match_index[peer] = 0

@@ -22,7 +22,7 @@ from typing import Dict, Generator, Set, Tuple
 
 from repro.daos.vos.container import VosContainer
 from repro.daos.vos.pool import VosPool
-from repro.errors import DerNonexist
+from repro.errors import DerNonexist, DerTimedOut
 from repro.hardware.node import EngineSlot, StorageTarget
 from repro.network.fabric import Fabric
 from repro.network.ofi import RpcServer
@@ -59,6 +59,9 @@ class Engine:
         self._trees_created: Set[Tuple] = set()
         self._trees_warmed: Set[Tuple] = set()
         self.up = True
+        #: injected slow-media penalty added to every media access
+        #: (fault injection: worn/thermally-throttled Optane module)
+        self.media_latency_extra = 0.0
 
         register = self.server.register
         register("cont_create", self._h_cont_create)
@@ -116,13 +119,38 @@ class Engine:
         self.stats.incr("tree_warms")
         return self.spec.shard_first_read_cost
 
+    # ------------------------------------------------------------- failure injection
+    def crash(self) -> None:
+        """Take the engine down: every RPC is answered with DER_TIMEDOUT
+        (standing in for the caller's RPC timeout). VOS shards live in
+        persistent memory and survive, exactly like a real engine crash;
+        data-plane unavailability is modelled by pool-map target exclusion
+        (see DESIGN.md §6)."""
+        if not self.up:
+            return
+        self.up = False
+        self.stats.incr("crashes")
+        self.server.set_unavailable(
+            lambda: DerTimedOut(f"{self.name} is down")
+        )
+
+    def restart(self) -> None:
+        """Bring a crashed engine back; persistent state is intact."""
+        if self.up:
+            return
+        self.up = True
+        self.stats.incr("restarts")
+        self.server.set_unavailable(None)
+
     # ------------------------------------------------------------- RPC timing
     def _service(self, local_tid: int, media_ops: int = 1) -> Generator:
         """Per-metadata-RPC engine work: credits + CPU + media latency."""
         guard = yield from self._credits[local_tid].held()
         try:
             self.stats.incr("rpcs")
-            yield self.spec.per_rpc_cpu + media_ops * self.spec.module.access_latency
+            yield self.spec.per_rpc_cpu + media_ops * (
+                self.spec.module.access_latency + self.media_latency_extra
+            )
         finally:
             guard.release()
 

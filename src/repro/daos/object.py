@@ -21,7 +21,7 @@ from repro.daos.objid import ObjId
 from repro.daos.placement import Layout
 from repro.daos.stream import IoPiece, IoStream
 from repro.daos.vos.payload import Payload, as_payload, concat_payloads
-from repro.errors import DerInval, DerNonexist
+from repro.errors import DerDataLoss, DerInval
 from repro.units import MiB
 
 ARRAY_AKEY = b"\x00arr"
@@ -76,7 +76,7 @@ class ObjectHandle:
         """Write a single value to every live replica of the dkey's group."""
         targets = self._live_targets(self.layout.targets_for_dkey(dkey))
         if not targets:
-            raise DerNonexist(f"no live replica for dkey {dkey!r}")
+            raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         epoch = None
         for tid in targets:
             ref = self.system.target(tid)
@@ -99,7 +99,7 @@ class ObjectHandle:
         """Read a single value from the first live replica."""
         targets = self._live_targets(self.layout.targets_for_dkey(dkey))
         if not targets:
-            raise DerNonexist(f"no live replica for dkey {dkey!r}")
+            raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         ref = self.system.target(targets[0])
         value = yield from self.client.rpc.call(
             ref.engine.name,
@@ -160,7 +160,7 @@ class ObjectHandle:
         for group in self.layout.groups:
             live = self._live_targets(group)
             if not live:
-                raise DerNonexist("group fully excluded")
+                raise DerDataLoss("group fully excluded")
             ref = self.system.target(live[0])
             keys = yield from self.client.rpc.call(
                 ref.engine.name,
@@ -311,7 +311,7 @@ class ObjectHandle:
                     )
                 )
         if not pieces:
-            raise DerNonexist("EC group fully excluded")
+            raise DerDataLoss("EC group fully excluded")
         return pieces
 
     def _ec_read_pieces(
@@ -355,7 +355,7 @@ class ObjectHandle:
                 if not parity_live or any(
                     t in excluded for t in survivors
                 ):
-                    raise DerNonexist(
+                    raise DerDataLoss(
                         f"chunk {chunk_idx} cell {ci}: too many failures "
                         "for EC reconstruction"
                     )
@@ -390,7 +390,7 @@ class ObjectHandle:
             return 0
         pieces = self._chunk_pieces_write(offset, payload, chunk_size, akey)
         if not pieces:
-            raise DerNonexist("all replicas excluded")
+            raise DerDataLoss("all replicas excluded")
         yield from self._stream("write").io(pieces, self._ctx)
         return payload.nbytes
 
@@ -428,7 +428,7 @@ class ObjectHandle:
                     if t not in excluded
                 ]
                 if not live:
-                    raise DerNonexist(
+                    raise DerDataLoss(
                         f"chunk {chunk_idx}: all replicas excluded"
                     )
                 tid = live[0]
@@ -469,11 +469,11 @@ class ObjectHandle:
                     if tid not in self.cont.pool.pool_map.excluded
                 ]
                 if not queried:
-                    raise DerNonexist("all data shards excluded")
+                    raise DerDataLoss("all data shards excluded")
             else:
                 live = self._live_targets(group)
                 if not live:
-                    raise DerNonexist("group fully excluded")
+                    raise DerDataLoss("group fully excluded")
                 queried = [(None, live[0])]
             for cell_idx, tid in queried:
                 ref = self.system.target(tid)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import DerNonexist, NetworkError
+from repro.errors import DerDataLoss
 from repro.network.flows import Flow
 
 
@@ -49,7 +49,7 @@ class IoStream:
         if direction not in ("read", "write"):
             raise ValueError(f"bad direction {direction!r}")
         if not targets:
-            raise DerNonexist("stream has no targets (all excluded?)")
+            raise DerDataLoss("stream has no targets (all excluded?)")
         self.client = client
         self.system = client.system
         self.sim = client.sim

@@ -189,6 +189,33 @@ class DaosSystem:
             cached.version = record["version"]
         return record["version"]
 
+    def reintegrate_target(self, pool_uuid: str, tid: int, rsvc=None) -> Generator:
+        """Task helper: mark a previously excluded target UP again and
+        bump the pool map version.
+
+        No rebuild/resync pass is modelled (DESIGN.md §6): the returning
+        replica is current only if nothing was written to its groups
+        during the exclusion window. Chaos schedules respect this —
+        :meth:`FaultSchedule.random` never pairs a reintegration with
+        concurrent writes to the same object.
+        """
+        rsvc = rsvc or self.rsvc_client()
+        record = yield from rsvc.invoke(("get", f"pool:{pool_uuid}"))
+        if record is None:
+            raise DerNonexist(f"pool {pool_uuid}")
+        excluded = set(record["excluded"])
+        if tid not in excluded:
+            return record["version"]
+        excluded.discard(tid)
+        record = dict(record, excluded=sorted(excluded),
+                      version=record["version"] + 1)
+        yield from rsvc.invoke(("put", f"pool:{pool_uuid}", record))
+        cached = self._pool_maps.get(pool_uuid)
+        if cached is not None:
+            cached.excluded = frozenset(excluded)
+            cached.version = record["version"]
+        return record["version"]
+
     # ------------------------------------------------------------- test/bench drive
     def run_task(self, gen, limit: float = 1e9):
         """Spawn a task and drive the simulation to its completion."""

@@ -106,6 +106,13 @@ class DerTimedOut(DaosError):
     code = "DER_TIMEDOUT"
 
 
+class DerDataLoss(DaosError):
+    """Data unreachable: every replica/shard holding a range is excluded
+    or failed (degraded mode past the object class's redundancy)."""
+
+    code = "DER_DATA_LOSS"
+
+
 class FsError(ReproError):
     """POSIX-layer error with an errno-style symbolic code."""
 
@@ -126,5 +133,6 @@ def fs_error_from_daos(err: DaosError, msg: str = "") -> FsError:
         "DER_ISDIR": "EISDIR",
         "DER_NOSPACE": "ENOSPC",
         "DER_TIMEDOUT": "ETIMEDOUT",
+        "DER_DATA_LOSS": "EIO",
     }
     return FsError(mapping.get(err.code, "EIO"), msg or str(err))

@@ -1,0 +1,144 @@
+"""Raft safety invariants, checkable on any live cluster.
+
+These are the classic properties from the Raft paper (§5.2, §5.3, §5.4,
+Fig. 3), expressed over the observable state of
+:class:`~repro.consensus.raft.RaftNode` instances:
+
+- **Election safety** — at most one leader is ever elected per term
+  (checked against ``leadership_history``, which records every win and
+  survives crashes).
+- **Log matching** — two logs agreeing on (index, term) agree on every
+  earlier entry; checked pairwise over committed prefixes.
+- **Leader completeness / no committed loss** — an entry committed
+  anywhere appears in the log of every node whose log reaches it, with
+  the same term and command.
+- **Monotonic apply** — each state machine applies indices 1, 2, 3, …
+  with no gap, skip, or repeat (restart rebuilds from scratch, so the
+  record restarts at 1 — still monotonic).
+
+Violations raise :class:`InvariantViolation`; the checkers double as the
+assertion layer of the chaos harness (``tests/faults/harness.py``) and
+the consensus test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class InvariantViolation(ReproError):
+    """A distributed-systems safety property was broken."""
+
+
+def check_election_safety(nodes: Sequence) -> Dict[int, int]:
+    """At most one node wins any term. Returns the term → winner map."""
+    winners: Dict[int, int] = {}
+    for node in nodes:
+        for term, node_id in node.leadership_history:
+            prev = winners.setdefault(term, node_id)
+            if prev != node_id:
+                raise InvariantViolation(
+                    f"election safety: term {term} won by raft:{prev} "
+                    f"and raft:{node_id}"
+                )
+    return winners
+
+
+def check_log_matching(nodes: Sequence) -> None:
+    """Committed prefixes agree pairwise on (term, command)."""
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            upto = min(a.commit_index, b.commit_index)
+            for index in range(1, upto + 1):
+                ea, eb = a.log[index], b.log[index]
+                if (ea.term, ea.command) != (eb.term, eb.command):
+                    raise InvariantViolation(
+                        f"log matching: index {index} differs between "
+                        f"raft:{a.node_id} ({ea.term}, {ea.command!r}) and "
+                        f"raft:{b.node_id} ({eb.term}, {eb.command!r})"
+                    )
+
+
+def check_committed_entries_present(nodes: Sequence) -> int:
+    """No committed entry is lost: the highest commit index reached by
+    any node is covered by a quorum of logs that agree with the
+    committer. Returns the cluster-wide max commit index."""
+    if not nodes:
+        return 0
+    committer = max(nodes, key=lambda n: n.commit_index)
+    high = committer.commit_index
+    quorum = (len(nodes)) // 2 + 1
+    for index in range(1, high + 1):
+        entry = committer.log[index]
+        holders = 0
+        for node in nodes:
+            if node.last_log_index >= index:
+                other = node.log[index]
+                if (other.term, other.command) == (entry.term, entry.command):
+                    holders += 1
+        if holders < quorum:
+            raise InvariantViolation(
+                f"committed entry {index} (term {entry.term}) present on "
+                f"only {holders}/{len(nodes)} logs (quorum {quorum})"
+            )
+    return high
+
+
+def check_applied_monotonic(nodes: Sequence) -> None:
+    """Each state machine applied indices 1, 2, 3, … in order."""
+    for node in nodes:
+        expect = 0
+        for index, _command in node.applied_results:
+            expect += 1
+            if index != expect:
+                raise InvariantViolation(
+                    f"raft:{node.node_id} applied index {index} where "
+                    f"{expect} was expected (gap/repeat)"
+                )
+
+
+def check_commands_durable(
+    nodes: Sequence, commands: Iterable
+) -> None:
+    """Every client-acknowledged command appears, in order, in the
+    applied sequence of every node that has caught up to the cluster
+    commit point (at-least-once: duplicates are permitted, loss and
+    reordering are not)."""
+    expected = list(commands)
+    if not expected:
+        return
+    high = max(n.commit_index for n in nodes)
+    for node in nodes:
+        if node.commit_index < high:
+            continue  # still catching up; covered by log matching
+        applied = [cmd for _i, cmd in node.applied_results]
+        cursor = 0
+        for cmd in applied:
+            if cursor < len(expected) and cmd == expected[cursor]:
+                cursor += 1
+        if cursor != len(expected):
+            raise InvariantViolation(
+                f"raft:{node.node_id} lost acknowledged command "
+                f"{expected[cursor]!r} ({cursor}/{len(expected)} found)"
+            )
+
+
+def check_raft_safety(service, commands: Iterable = ()) -> Dict[str, int]:
+    """Run every invariant over a ReplicatedService (or RaftCluster).
+
+    Returns a deterministic summary (suitable for the chaos trace).
+    """
+    nodes = list(service.nodes)
+    winners = check_election_safety(nodes)
+    check_log_matching(nodes)
+    high = check_committed_entries_present(nodes)
+    check_applied_monotonic(nodes)
+    check_commands_durable(nodes, commands)
+    return {
+        "terms_won": len(winners),
+        "max_term": max(winners) if winners else 0,
+        "max_commit": high,
+        "live": sum(1 for n in nodes if n._alive),
+    }

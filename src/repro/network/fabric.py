@@ -12,7 +12,7 @@ latency + serialization delay without occupying flow capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import NetworkError
 from repro.network.flows import FlowNetwork, Link
@@ -49,6 +49,15 @@ class Fabric:
         self.software_overhead = software_overhead
         self._nodes: Dict[str, Tuple[Link, Link]] = {}
         self._endpoints: Dict[str, "object"] = {}
+        # -- fault plane state (see the fault-plane section below) --
+        #: directed (src_node, dst_node) pairs whose messages are dropped
+        self._blocked: Set[Tuple[str, str]] = set()
+        #: directed per-pair extra one-way latency
+        self._extra_delay: Dict[Tuple[str, str], float] = {}
+        #: directed per-pair drop predicates (flaky links)
+        self._drop_rules: Dict[Tuple[str, str], Callable[[], bool]] = {}
+        self.dropped_messages = 0
+        self.delivered_messages = 0
 
     # -- topology ------------------------------------------------------------
     def add_node(self, name: str, nic_bw: float, rails: int = 1) -> NodeAddr:
@@ -89,6 +98,96 @@ class Fabric:
             + 2 * self.software_overhead
             + nbytes / self.msg_bandwidth
         )
+
+    # -- fault plane -------------------------------------------------------------
+    # Partitions, flaky links and latency spikes operate on *node pairs*:
+    # every endpoint message between the pair is affected, which is exactly
+    # how a fabric failure presents (Raft, engine RPC and client traffic all
+    # degrade together). Bulk fluid flows are modelled separately; degrading
+    # them goes through FlowNetwork.set_link_capacity.
+
+    def _check_node(self, name: str) -> str:
+        if name not in self._nodes:
+            raise NetworkError(f"unknown node {name!r}")
+        return name
+
+    def partition(
+        self, side_a: Iterable[str], side_b: Iterable[str]
+    ) -> List[Tuple[str, str]]:
+        """Cut the fabric between two groups of node names (both ways).
+
+        Messages across the cut are dropped silently — from the protocols'
+        point of view the peer just stopped answering. Returns the blocked
+        pair list, usable as a token for a targeted :meth:`heal`.
+        """
+        a = [self._check_node(n) for n in side_a]
+        b = [self._check_node(n) for n in side_b]
+        pairs: List[Tuple[str, str]] = []
+        for x in a:
+            for y in b:
+                if x == y:
+                    raise NetworkError(f"node {x!r} on both sides of partition")
+                pairs.append((x, y))
+                pairs.append((y, x))
+        self._blocked.update(pairs)
+        return pairs
+
+    def heal(self, pairs: Optional[Iterable[Tuple[str, str]]] = None) -> None:
+        """Undo partitions: all of them, or just the given pair token."""
+        if pairs is None:
+            self._blocked.clear()
+        else:
+            self._blocked.difference_update(pairs)
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
+    def set_extra_delay(
+        self, a: str, b: str, extra: float, bidirectional: bool = True
+    ) -> None:
+        """Add ``extra`` seconds of one-way latency between two nodes
+        (0 clears)."""
+        if extra < 0:
+            raise NetworkError(f"negative extra delay: {extra}")
+        for pair in ((a, b), (b, a)) if bidirectional else ((a, b),):
+            if extra == 0:
+                self._extra_delay.pop(pair, None)
+            else:
+                self._extra_delay[pair] = extra
+
+    def set_drop_rule(
+        self,
+        a: str,
+        b: str,
+        rule: Optional[Callable[[], bool]] = None,
+        bidirectional: bool = True,
+    ) -> None:
+        """Install a per-message drop predicate between two nodes (flaky
+        link); ``None`` clears. The rule must be deterministic for the
+        simulation to stay reproducible — draw from a named RNG stream."""
+        for pair in ((a, b), (b, a)) if bidirectional else ((a, b),):
+            if rule is None:
+                self._drop_rules.pop(pair, None)
+            else:
+                self._drop_rules[pair] = rule
+
+    def transmit(self, src: NodeAddr, target: "object", message: "object") -> None:
+        """Deliver ``message`` (an :class:`~repro.network.ofi.Message`) to
+        ``target`` (an Endpoint), subject to the fault plane: partitioned
+        pairs drop silently, flaky rules may drop, per-pair extra latency
+        adds to the base model."""
+        pair = (src.name, target.addr.name)
+        if pair in self._blocked:
+            self.dropped_messages += 1
+            return
+        rule = self._drop_rules.get(pair)
+        if rule is not None and rule():
+            self.dropped_messages += 1
+            return
+        delay = self.msg_delay(src, target.addr, message.nbytes)
+        delay += self._extra_delay.get(pair, 0.0)
+        self.delivered_messages += 1
+        self.sim.schedule(delay, target._deliver, message)
 
     # -- endpoint registry -------------------------------------------------------
     def register_endpoint(self, name: str, endpoint: "object") -> None:

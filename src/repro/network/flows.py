@@ -140,6 +140,17 @@ class FlowNetwork:
         except KeyError:
             raise NetworkError(f"unknown link {name!r}") from None
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Change a link's capacity and reallocate (fault injection:
+        degraded media channel, throttled NIC). In-flight transfers are
+        synced under the old rates first, so completion times stay exact."""
+        if capacity <= 0:
+            raise NetworkError(
+                f"link {link.name!r} needs positive capacity, got {capacity}"
+            )
+        link.capacity = float(capacity)
+        self._reallocate()
+
     # -- flows ---------------------------------------------------------------
     def open(
         self,

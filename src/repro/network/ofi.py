@@ -55,13 +55,16 @@ class Endpoint:
 
     # -- send/recv ---------------------------------------------------------
     def send(self, dst: str, payload: Any, nbytes: int = 64, tag: str = "") -> None:
-        """Asynchronously deliver ``payload`` to endpoint ``dst``."""
+        """Asynchronously deliver ``payload`` to endpoint ``dst``.
+
+        Delivery goes through :meth:`Fabric.transmit`, which applies the
+        fault plane (partitions, flaky links, latency spikes).
+        """
         target = self.fabric.endpoint(dst)
         if not isinstance(target, Endpoint):
             raise NetworkError(f"endpoint {dst!r} is not a message endpoint")
-        delay = self.fabric.msg_delay(self.addr, target.addr, nbytes)
         message = Message(src=self.name, tag=tag, payload=payload, nbytes=nbytes)
-        self.sim.schedule(delay, target._deliver, message)
+        self.fabric.transmit(self.addr, target, message)
 
     def _deliver(self, message: Message) -> None:
         if message.tag:
@@ -100,9 +103,21 @@ class RpcServer(Endpoint):
         self._dispatcher = self.sim.spawn(self._dispatch_loop(), f"rpc:{name}")
         #: simulated per-request server CPU cost before the handler runs
         self.dispatch_overhead = 0.5e-6
+        #: while set, requests are answered with ``factory()`` instead of
+        #: being dispatched (crashed server: the reply stands in for the
+        #: caller's RPC timeout, after ``unavailable_delay``)
+        self._unavailable: Optional[Callable[[], Exception]] = None
+        self.unavailable_delay = 5e-3
 
     def register(self, op: str, handler: Callable[..., Generator]) -> None:
         self._handlers[op] = handler
+
+    def set_unavailable(
+        self, error_factory: Optional[Callable[[], Exception]]
+    ) -> None:
+        """Mark the server down (``error_factory`` builds the per-request
+        error) or back up (``None``)."""
+        self._unavailable = error_factory
 
     def _dispatch_loop(self) -> Generator:
         while True:
@@ -118,7 +133,10 @@ class RpcServer(Endpoint):
         reply_to = request["reply_to"]
         handler = self._handlers.get(op)
         yield self.dispatch_overhead
-        if handler is None:
+        if self._unavailable is not None:
+            yield self.unavailable_delay
+            outcome = ("err", self._unavailable())
+        elif handler is None:
             outcome = ("err", NetworkError(f"{self.name}: no handler for {op!r}"))
         else:
             try:

@@ -220,6 +220,159 @@ def test_property_no_divergence_under_leader_crashes(seed, n_ops, crash_point):
     assert ops == sorted(ops)
 
 
+# ---------------------------------------------------------------------------
+# Network partitions, via the fabric fault plane (Fabric.partition/heal)
+# and the reusable safety checkers from repro.faults.invariants.
+# ---------------------------------------------------------------------------
+
+from repro.faults.invariants import (  # noqa: E402
+    check_applied_monotonic,
+    check_committed_entries_present,
+    check_commands_durable,
+    check_election_safety,
+    check_log_matching,
+)
+
+
+def _fabric_of(cluster):
+    return cluster.nodes[0].endpoint.fabric
+
+
+def _isolate_leader(fabric, cluster, leader):
+    name = leader.endpoint.addr.name
+    others = [
+        n.endpoint.addr.name for n in cluster.nodes if n is not leader
+    ]
+    return fabric.partition([name], others)
+
+
+def _check_all_invariants(cluster, acked=()):
+    check_election_safety(cluster.nodes)
+    check_log_matching(cluster.nodes)
+    check_committed_entries_present(cluster.nodes)
+    check_applied_monotonic(cluster.nodes)
+    check_commands_durable(cluster.nodes, acked)
+
+
+def test_partitioned_leader_cannot_commit():
+    """A leader isolated from the quorum cannot commit; the majority
+    elects a successor in a higher term; on heal the deposed leader's
+    uncommitted entry is discarded, never applied anywhere."""
+    sim, cluster = build_cluster(3, seed=13)
+    fabric = _fabric_of(cluster)
+    outcome = {}
+
+    def client():
+        leader = yield from cluster.wait_leader()
+        status, _ = yield leader.propose(("committed", 0))
+        assert status == "ok"
+        _isolate_leader(fabric, cluster, leader)
+        gate = leader.propose(("isolated", 0))
+        new_leader = None
+        while new_leader is None:
+            yield 0.05
+            for n in cluster.nodes:
+                if n.is_leader and n is not leader:
+                    new_leader = n
+        status2, _ = yield new_leader.propose(("majority", 0))
+        assert status2 == "ok"
+        outcome["terms"] = (leader.current_term, new_leader.current_term)
+        fabric.heal()
+        # resolves once the old leader learns the higher term and fails
+        # its pending proposals
+        status1, _ = yield gate
+        outcome["isolated_status"] = status1
+
+    sim.spawn(client())
+    sim.run(until=20.0)
+    assert outcome["isolated_status"] == "err"
+    old_term, new_term = outcome["terms"]
+    assert new_term > old_term
+    for machine in cluster.machines:
+        assert ("isolated", 0) not in machine.applied
+        assert ("majority", 0) in machine.applied  # replicated post-heal
+    _check_all_invariants(
+        cluster, acked=[("committed", 0), ("majority", 0)]
+    )
+
+
+def test_partition_heal_converges_logs():
+    """Commands committed on both sides of a leader partition end up
+    applied identically everywhere after the heal."""
+    sim, cluster = build_cluster(3, seed=17)
+    fabric = _fabric_of(cluster)
+    acked = []
+
+    def client():
+        leader = yield from cluster.wait_leader()
+        for i in range(3):
+            status, _ = yield leader.propose(("pre", i))
+            assert status == "ok"
+            acked.append(("pre", i))
+        pairs = _isolate_leader(fabric, cluster, leader)
+        new_leader = None
+        while new_leader is None:
+            yield 0.05
+            for n in cluster.nodes:
+                if n.is_leader and n is not leader:
+                    new_leader = n
+        for i in range(3):
+            status, _ = yield new_leader.propose(("post", i))
+            assert status == "ok"
+            acked.append(("post", i))
+        fabric.heal(pairs)
+        yield 3.0  # heartbeats propagate the authoritative log
+
+    sim.spawn(client())
+    sim.run(until=30.0)
+    expected = [("pre", i) for i in range(3)] + [("post", i) for i in range(3)]
+    for machine in cluster.machines:
+        assert machine.applied == expected
+    _check_all_invariants(cluster, acked=acked)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000), n_ops=st.integers(1, 6))
+def test_property_safety_under_leader_partitions(seed, n_ops):
+    """For any seed: commit a batch, isolate the leader, commit a batch
+    on the majority side, heal — every safety invariant holds and every
+    acknowledged command survives in order."""
+    sim, cluster = build_cluster(3, seed=seed)
+    fabric = _fabric_of(cluster)
+    acked = []
+
+    def client():
+        leader = yield from cluster.wait_leader()
+        for i in range(n_ops):
+            status, _ = yield leader.propose(("pre", i))
+            if status == "ok":
+                acked.append(("pre", i))
+        _isolate_leader(fabric, cluster, leader)
+        new_leader = None
+        while new_leader is None:
+            yield 0.05
+            for n in cluster.nodes:
+                if n.is_leader and n is not leader:
+                    new_leader = n
+        for i in range(n_ops):
+            while True:
+                try:
+                    gate = new_leader.propose(("post", i))
+                except NotLeaderError:
+                    yield 0.05
+                    continue
+                status, _ = yield gate
+                if status == "ok":
+                    acked.append(("post", i))
+                    break
+        fabric.heal()
+        yield 3.0
+
+    sim.spawn(client())
+    sim.run(until=60.0)
+    _check_all_invariants(cluster, acked=acked)
+
+
 def test_rsvc_client_retries_through_election():
     from repro.consensus import ReplicatedService, RsvcClient
 

@@ -10,7 +10,7 @@ from repro.daos.vos.payload import (
     XorPayload,
     ZeroPayload,
 )
-from repro.errors import DerInval, DerNonexist
+from repro.errors import DerDataLoss, DerInval
 from repro.units import KiB, MiB
 
 
@@ -159,7 +159,7 @@ def test_ec_double_failure_fails(cluster):
         degraded = cont.open_object(oid)
         try:
             yield from degraded.read(0, MiB, chunk_size=MiB)
-        except DerNonexist:
+        except DerDataLoss:
             return "lost"
         finally:
             obj.close()

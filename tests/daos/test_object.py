@@ -5,7 +5,7 @@ import pytest
 from repro.cluster import small_cluster
 from repro.daos.oclass import RP_2G1, S1, S2, SX, oclass_by_name
 from repro.daos.vos.payload import PatternPayload
-from repro.errors import DerExist, DerNonexist
+from repro.errors import DerDataLoss, DerExist, DerNonexist
 from repro.units import KiB, MiB
 
 
@@ -280,7 +280,7 @@ def test_unreplicated_object_fails_when_target_excluded(cluster):
         obj2 = cont.open_object(oid)
         try:
             yield from obj2.read(0, 4)
-        except DerNonexist:
+        except DerDataLoss:
             return "lost"
         finally:
             obj.close()

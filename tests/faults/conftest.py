@@ -1,0 +1,23 @@
+"""Chaos-suite fixtures: the pinned seed matrix.
+
+``CHAOS_SEEDS`` (space- or comma-separated ints, ``0x`` accepted) widens
+or changes the matrix without touching code, e.g.::
+
+    CHAOS_SEEDS="1 2 3 0xBEEF" make chaos
+"""
+
+import os
+
+DEFAULT_SEEDS = (0xDA05, 1, 7)
+
+
+def _seed_matrix():
+    raw = os.environ.get("CHAOS_SEEDS", "").replace(",", " ")
+    if raw.strip():
+        return tuple(int(tok, 0) for tok in raw.split())
+    return DEFAULT_SEEDS
+
+
+def pytest_generate_tests(metafunc):
+    if "chaos_seed" in metafunc.fixturenames:
+        metafunc.parametrize("chaos_seed", _seed_matrix())

@@ -204,3 +204,94 @@ def test_engine_spec_media_bandwidths():
     spec = EngineSpec()
     assert spec.media_read_bw == pytest.approx(6 * 6.8e9 * 0.80)
     assert spec.media_write_bw == pytest.approx(6 * 2.3e9 * 0.75)
+
+
+# ---------------------------------------------------------------------------
+# Fault plane: partition / heal / delay / drop, all centralized in
+# Fabric.transmit so every endpoint (raft, RPC, engines) is covered.
+# ---------------------------------------------------------------------------
+
+
+def _two_endpoints():
+    sim, fabric = make_fabric()
+    a = fabric.add_node("a", 1e9)
+    b = fabric.add_node("b", 1e9)
+    ep_a = Endpoint(fabric, a, "ep-a")
+    ep_b = Endpoint(fabric, b, "ep-b")
+    return sim, fabric, ep_a, ep_b
+
+
+def test_partition_blocks_both_directions_and_heal_restores():
+    sim, fabric, ep_a, ep_b = _two_endpoints()
+    pairs = fabric.partition(["a"], ["b"])
+    assert fabric.is_blocked("a", "b") and fabric.is_blocked("b", "a")
+
+    ep_a.send("ep-b", "lost", nbytes=10)
+    sim.run()
+    assert fabric.dropped_messages == 1
+
+    fabric.heal(pairs)
+    assert not fabric.is_blocked("a", "b")
+
+    def receiver():
+        message = yield ep_b.recv()
+        return message.payload
+
+    task = sim.spawn(receiver())
+    ep_a.send("ep-b", "through", nbytes=10)
+    sim.run()
+    assert task.result == "through"
+    # the partitioned-away message is gone for good, not delayed
+    assert fabric.delivered_messages == 1
+
+
+def test_partition_rejects_node_on_both_sides():
+    sim, fabric, *_ = _two_endpoints()
+    with pytest.raises(NetworkError):
+        fabric.partition(["a"], ["a", "b"])
+
+
+def test_extra_delay_slows_link():
+    sim, fabric, ep_a, ep_b = _two_endpoints()
+
+    def receiver():
+        message = yield ep_b.recv()
+        return sim.now
+
+    baseline_task = sim.spawn(receiver())
+    ep_a.send("ep-b", 1, nbytes=10)
+    sim.run()
+    baseline = baseline_task.result
+
+    fabric.set_extra_delay("a", "b", 5e-3)
+    sim2_task = sim.spawn(receiver())
+    start = sim.now
+    ep_a.send("ep-b", 2, nbytes=10)
+    sim.run()
+    assert sim2_task.result - start == pytest.approx(baseline + 5e-3)
+
+    fabric.set_extra_delay("a", "b", 0.0)  # clears
+    sim3_task = sim.spawn(receiver())
+    start = sim.now
+    ep_a.send("ep-b", 3, nbytes=10)
+    sim.run()
+    assert sim3_task.result - start == pytest.approx(baseline)
+
+
+def test_drop_rule_discards_selected_messages():
+    sim, fabric, ep_a, ep_b = _two_endpoints()
+    flips = iter([True, False])
+    fabric.set_drop_rule("a", "b", lambda: next(flips), bidirectional=False)
+
+    def receiver():
+        message = yield ep_b.recv()
+        return message.payload
+
+    task = sim.spawn(receiver())
+    ep_a.send("ep-b", "first", nbytes=10)   # dropped
+    ep_a.send("ep-b", "second", nbytes=10)  # delivered
+    sim.run()
+    assert task.result == "second"
+    assert fabric.dropped_messages == 1
+    assert fabric.delivered_messages == 1
+    fabric.set_drop_rule("a", "b", None)
