@@ -10,7 +10,7 @@ export PYTHONPATH
 CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
-.PHONY: test chaos bench all
+.PHONY: test chaos bench trace all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -22,5 +22,15 @@ chaos:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
+# and validate the trace against the trace-event schema. The JSON lands
+# in artifacts/ (uploaded as a CI artifact; open it at ui.perfetto.dev).
+trace:
+	mkdir -p artifacts
+	$(PY) benchmarks/run_figures.py --ppn 4 \
+		--trace-out artifacts/fig1-trace.json \
+		--metrics-out artifacts/fig1-metrics.json
+	$(PY) -m repro.obs.validate artifacts/fig1-trace.json
 
 all: test chaos

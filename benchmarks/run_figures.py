@@ -22,6 +22,7 @@ from repro.bench import (
     FULL_NODE_COUNTS,
     QUICK_NODE_COUNTS,
     fig1_fpp,
+    fig1_traced_point,
     fig2_shared,
     lustre_contrast,
     render_figure,
@@ -38,12 +39,34 @@ def main(argv=None) -> int:
     parser.add_argument("--contrast", action="store_true",
                         help="also run the DAOS-vs-Lustre contrast")
     parser.add_argument("--ppn", type=int, default=16)
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="run ONE instrumented fig-1 point instead of "
+                             "the sweep and write its Chrome trace JSON")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="with/instead of --trace-out: write the "
+                             "instrumented point's metrics dump")
     args = parser.parse_args(argv)
 
     node_counts = FULL_NODE_COUNTS if args.full else QUICK_NODE_COUNTS
     block = "64m" if args.full else "16m"
 
     t0 = time.time()
+    if args.trace_out or args.metrics_out:
+        # Instrumented single point: the sweep itself stays untraced (a
+        # full sweep's span list would dwarf the figures it produces).
+        result = fig1_traced_point(
+            block_size=block,
+            ppn=args.ppn,
+            trace_out=args.trace_out,
+            metrics_out=args.metrics_out,
+        )
+        print(result.summary())
+        for path in (args.trace_out, args.metrics_out):
+            if path:
+                print(f"wrote {path}", file=sys.stderr)
+        print(f"(generated in {time.time() - t0:.1f}s wall time)",
+              file=sys.stderr)
+        return 0
     if args.figure in ("1a", "1b", "all"):
         fig1a, fig1b = fig1_fpp(node_counts, block, args.ppn)
         if args.figure in ("1a", "all"):

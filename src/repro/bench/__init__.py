@@ -10,6 +10,7 @@ DESIGN.md §4.
 from repro.bench.sweep import Series, SeriesPoint, FigureData
 from repro.bench.figures import (
     fig1_fpp,
+    fig1_traced_point,
     fig2_shared,
     lustre_contrast,
     FULL_NODE_COUNTS,
@@ -22,6 +23,7 @@ __all__ = [
     "SeriesPoint",
     "FigureData",
     "fig1_fpp",
+    "fig1_traced_point",
     "fig2_shared",
     "lustre_contrast",
     "render_figure",

@@ -117,6 +117,37 @@ def fig2_shared(
     return read_fig, write_fig
 
 
+def fig1_traced_point(
+    block_size="16m",
+    ppn: int = 16,
+    oclass: str = "SX",
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+):
+    """One instrumented fig-1 point: single client node, DFS
+    file-per-process, with tracing + metrics enabled. Writes the Chrome
+    trace / metrics dump when paths are given and returns the IorResult
+    (whose summary carries the per-layer breakdown).
+    """
+    from repro.obs import write_chrome_trace, write_metrics
+
+    cluster = nextgenio(client_nodes=1)
+    cluster.observe()
+    params = IorParams(
+        api="DFS",
+        file_per_proc=True,
+        oclass=oclass,
+        block_size=block_size,
+        transfer_size="1m",
+    )
+    result = run_ior(cluster, params, ppn=ppn)
+    if trace_out:
+        write_chrome_trace(cluster.sim.tracer, trace_out)
+    if metrics_out:
+        write_metrics(cluster.sim.metrics, metrics_out)
+    return result
+
+
 def lustre_contrast(
     nodes: int = 4,
     block_size="16m",

@@ -44,6 +44,21 @@ class Cluster:
 
         return FaultInjector(self, schedule, trace=trace).arm()
 
+    def observe(self, tracing: bool = True, metrics: bool = True,
+                seed: Optional[int] = None):
+        """Enable span tracing and/or metrics on this cluster's simulator;
+        returns the ``(tracer, registry)`` pair. Purely additive: the
+        simulated execution is identical with or without it (pinned by
+        tests/faults/test_determinism.py)."""
+        from repro.obs import install
+
+        return install(
+            self.sim,
+            tracing=tracing,
+            metrics=metrics,
+            seed=self.rng.seed if seed is None else seed,
+        )
+
 
 def build_cluster(
     server_nodes: int,
@@ -104,6 +119,13 @@ class LustreCluster:
     def run(self, gen, limit: float = 1e9):
         task = self.sim.spawn(gen)
         return self.sim.run_until_complete(task, limit=limit)
+
+    def observe(self, tracing: bool = True, metrics: bool = True,
+                seed: int = 0xDA05):
+        """Enable span tracing and/or metrics (see :meth:`Cluster.observe`)."""
+        from repro.obs import install
+
+        return install(self.sim, tracing=tracing, metrics=metrics, seed=seed)
 
 
 def build_lustre_cluster(

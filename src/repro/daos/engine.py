@@ -145,7 +145,42 @@ class Engine:
     # ------------------------------------------------------------- RPC timing
     def _service(self, local_tid: int, media_ops: int = 1) -> Generator:
         """Per-metadata-RPC engine work: credits + CPU + media latency."""
-        guard = yield from self._credits[local_tid].held()
+        sim = self.sim
+        tracer = sim.tracer
+        metrics = sim.metrics
+        node = self.slot.node.name
+        sem = self._credits[local_tid]
+        started = sim.now
+        wait_span = (
+            tracer.begin(
+                "engine.credit_wait",
+                "engine",
+                node=node,
+                attrs={"tid": local_tid},
+            )
+            if tracer is not None
+            else None
+        )
+        guard = yield from sem.held()
+        if tracer is not None:
+            tracer.end(wait_span)
+        if metrics is not None:
+            # Queue depth: ULT credits in use on this xstream right now.
+            metrics.set_gauge(
+                f"engine.e{self.rank}.t{local_tid}.inflight",
+                self.spec.target_inflight - sem.available,
+            )
+            metrics.incr(f"engine.e{self.rank}.rpcs")
+        span = (
+            tracer.begin(
+                "engine.service",
+                "engine",
+                node=node,
+                attrs={"tid": local_tid, "media_ops": media_ops},
+            )
+            if tracer is not None
+            else None
+        )
         try:
             self.stats.incr("rpcs")
             yield self.spec.per_rpc_cpu + media_ops * (
@@ -153,6 +188,16 @@ class Engine:
             )
         finally:
             guard.release()
+            if tracer is not None:
+                tracer.end(span)
+            if metrics is not None:
+                metrics.set_gauge(
+                    f"engine.e{self.rank}.t{local_tid}.inflight",
+                    self.spec.target_inflight - sem.available,
+                )
+                metrics.observe(
+                    f"engine.e{self.rank}.service.latency", sim.now - started
+                )
 
     # ------------------------------------------------------------- handlers
     def _h_cont_create(self, _src, pool: str, cont: str) -> Generator:

@@ -22,6 +22,7 @@ from repro.daos.placement import Layout
 from repro.daos.stream import IoPiece, IoStream
 from repro.daos.vos.payload import Payload, as_payload, concat_payloads
 from repro.errors import DerDataLoss, DerInval
+from repro.obs.tracer import NOOP_SPAN
 from repro.units import MiB
 
 ARRAY_AKEY = b"\x00arr"
@@ -72,27 +73,37 @@ class ObjectHandle:
         self._closed = True
 
     # ------------------------------------------------------------- KV ops
+    def _span(self, name: str, **attrs):
+        """Client-layer span context (no-op when tracing is off)."""
+        tracer = self.sim.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(
+            name, "client", node=self.client.node.name, attrs=attrs or None
+        )
+
     def put(self, dkey, akey, value) -> Generator:
         """Write a single value to every live replica of the dkey's group."""
         targets = self._live_targets(self.layout.targets_for_dkey(dkey))
         if not targets:
             raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         epoch = None
-        for tid in targets:
-            ref = self.system.target(tid)
-            epoch = yield from self.client.rpc.call(
-                ref.engine.name,
-                "kv_update",
-                {
-                    "pool": self.cont.pool.pool_map.uuid,
-                    "cont": self.cont.uuid,
-                    "local_tid": ref.local_tid,
-                    "oid": self.oid,
-                    "dkey": dkey,
-                    "akey": akey,
-                    "value": value,
-                },
-            )
+        with self._span("client.kv_put", replicas=len(targets)):
+            for tid in targets:
+                ref = self.system.target(tid)
+                epoch = yield from self.client.rpc.call(
+                    ref.engine.name,
+                    "kv_update",
+                    {
+                        "pool": self.cont.pool.pool_map.uuid,
+                        "cont": self.cont.uuid,
+                        "local_tid": ref.local_tid,
+                        "oid": self.oid,
+                        "dkey": dkey,
+                        "akey": akey,
+                        "value": value,
+                    },
+                )
         return epoch
 
     def get(self, dkey, akey, epoch: Optional[int] = None) -> Generator:
@@ -101,19 +112,20 @@ class ObjectHandle:
         if not targets:
             raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         ref = self.system.target(targets[0])
-        value = yield from self.client.rpc.call(
-            ref.engine.name,
-            "kv_fetch",
-            {
-                "pool": self.cont.pool.pool_map.uuid,
-                "cont": self.cont.uuid,
-                "local_tid": ref.local_tid,
-                "oid": self.oid,
-                "dkey": dkey,
-                "akey": akey,
-                "epoch": epoch,
-            },
-        )
+        with self._span("client.kv_get"):
+            value = yield from self.client.rpc.call(
+                ref.engine.name,
+                "kv_fetch",
+                {
+                    "pool": self.cont.pool.pool_map.uuid,
+                    "cont": self.cont.uuid,
+                    "local_tid": ref.local_tid,
+                    "oid": self.oid,
+                    "dkey": dkey,
+                    "akey": akey,
+                    "epoch": epoch,
+                },
+            )
         return value
 
     def punch(self, dkey, akey) -> Generator:
@@ -391,7 +403,10 @@ class ObjectHandle:
         pieces = self._chunk_pieces_write(offset, payload, chunk_size, akey)
         if not pieces:
             raise DerDataLoss("all replicas excluded")
-        yield from self._stream("write").io(pieces, self._ctx)
+        with self._span(
+            "client.array_write", offset=offset, nbytes=payload.nbytes
+        ):
+            yield from self._stream("write").io(pieces, self._ctx)
         return payload.nbytes
 
     def read(
@@ -443,7 +458,8 @@ class ObjectHandle:
                 plan.append(([piece], None))
             cursor += take
         flat: List[IoPiece] = [p for pieces, _c in plan for p in pieces]
-        results = yield from self._stream("read").io(flat, self._ctx)
+        with self._span("client.array_read", offset=offset, nbytes=length):
+            results = yield from self._stream("read").io(flat, self._ctx)
         out: List[Payload] = []
         index = 0
         for pieces, combine in plan:

@@ -141,8 +141,42 @@ class IoStream:
             self._last_target = primary
 
         total = sum(p.nbytes for p in pieces)
+        tracer = self.sim.tracer
+        if tracer is None:
+            if overhead > 0:
+                yield overhead
+            if total > 0:
+                yield self._flow.transfer(total)
+            return [piece.apply_fn() for piece in pieces]
+
+        # Traced variant: same yields, with the op decomposed into its
+        # RPC-fanout, bulk-flow and per-piece VOS children.
         if overhead > 0:
-            yield overhead
+            with tracer.span(
+                "rpc.fanout",
+                "rpc",
+                attrs={"targets": len(seen), "widest": widest},
+            ):
+                yield overhead
         if total > 0:
-            yield self._flow.transfer(total)
-        return [piece.apply_fn() for piece in pieces]
+            with tracer.span(
+                "fabric.flow",
+                "fabric",
+                attrs={
+                    "nbytes": total,
+                    "rate": self.rate,
+                    "direction": self.direction,
+                },
+            ):
+                yield self._flow.transfer(total)
+        results = []
+        for piece in pieces:
+            ref = self.system.target(piece.tid)
+            with tracer.span(
+                "vos.apply",
+                "vos",
+                node=ref.engine.slot.node.name,
+                attrs={"tid": piece.tid, "nbytes": piece.nbytes},
+            ):
+                results.append(piece.apply_fn())
+        return results

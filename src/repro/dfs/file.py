@@ -7,6 +7,7 @@ from typing import Generator, Optional
 from repro.daos.object import ObjectHandle
 from repro.daos.vos.payload import Payload, as_payload
 from repro.dfs.layout import InodeEntry
+from repro.obs.tracer import NOOP_SPAN
 
 
 class DfsFile:
@@ -33,12 +34,21 @@ class DfsFile:
         self._closed = False
 
     # ------------------------------------------------------------- I/O
+    def _span(self, name: str, **attrs):
+        tracer = self.dfs.client.sim.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(
+            name, "dfs", node=self.dfs.client.node.name, attrs=attrs or None
+        )
+
     def write(self, offset: int, data) -> Generator:
         """Task helper: write at ``offset``; returns bytes written."""
         payload = as_payload(data)
-        nbytes = yield from self.obj.write(
-            offset, payload, chunk_size=self.chunk_size
-        )
+        with self._span("dfs.write", offset=offset, nbytes=payload.nbytes):
+            nbytes = yield from self.obj.write(
+                offset, payload, chunk_size=self.chunk_size
+            )
         self._local_high = max(self._local_high, offset + nbytes)
         if self._size_cache is not None:
             self._size_cache = max(self._size_cache, self._local_high)
@@ -46,15 +56,16 @@ class DfsFile:
 
     def read(self, offset: int, length: int) -> Generator:
         """Task helper: read up to ``length`` bytes; short read at EOF."""
-        if self._size_cache is None:
-            yield from self.get_size()
-        size = max(self._size_cache, self._local_high)
-        if offset >= size:
-            return as_payload(b"")
-        length = min(length, size - offset)
-        payload = yield from self.obj.read(
-            offset, length, chunk_size=self.chunk_size
-        )
+        with self._span("dfs.read", offset=offset, nbytes=length):
+            if self._size_cache is None:
+                yield from self.get_size()
+            size = max(self._size_cache, self._local_high)
+            if offset >= size:
+                return as_payload(b"")
+            length = min(length, size - offset)
+            payload = yield from self.obj.read(
+                offset, length, chunk_size=self.chunk_size
+            )
         return payload
 
     def get_size(self) -> Generator:

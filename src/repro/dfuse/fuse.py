@@ -18,6 +18,7 @@ from repro.daos.vos.payload import as_payload, concat_payloads
 from repro.dfs.dfs import Dfs
 from repro.dfs.file import DfsFile
 from repro.errors import DaosError, FsError, fs_error_from_daos
+from repro.obs.tracer import NOOP_SPAN
 from repro.posix.vfs import FileHandle, FileSystem, StatResult, validate_flags
 from repro.units import MiB
 
@@ -134,29 +135,44 @@ class DFuseFile(FileHandle):
         self.mount = mount
         self.inner = inner
 
+    def _span(self, name: str, **attrs):
+        client = self.mount.dfs.client
+        tracer = client.sim.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(
+            name, "dfuse", node=client.node.name, attrs=attrs or None
+        )
+
     def pwrite(self, offset: int, data) -> Generator:
         payload = as_payload(data)
-        yield self.mount.syscall_cost
-        written = 0
-        for window_offset, take in self.mount._windows(offset, payload.nbytes):
-            yield self.mount.request_cost
-            fragment = payload.slice(written, written + take)
-            written += (
-                yield from self.inner.write(window_offset, fragment)
-            )
+        with self._span(
+            "dfuse.pwrite", offset=offset, nbytes=payload.nbytes
+        ):
+            yield self.mount.syscall_cost
+            written = 0
+            for window_offset, take in self.mount._windows(
+                offset, payload.nbytes
+            ):
+                yield self.mount.request_cost
+                fragment = payload.slice(written, written + take)
+                written += (
+                    yield from self.inner.write(window_offset, fragment)
+                )
         return written
 
     def pread(self, offset: int, length: int) -> Generator:
-        yield self.mount.syscall_cost
-        parts = []
-        got = 0
-        for window_offset, take in self.mount._windows(offset, length):
-            yield self.mount.request_cost
-            part = yield from self.inner.read(window_offset, take)
-            parts.append(part)
-            got += part.nbytes
-            if part.nbytes < take:  # EOF inside this window
-                break
+        with self._span("dfuse.pread", offset=offset, nbytes=length):
+            yield self.mount.syscall_cost
+            parts = []
+            got = 0
+            for window_offset, take in self.mount._windows(offset, length):
+                yield self.mount.request_cost
+                part = yield from self.inner.read(window_offset, take)
+                parts.append(part)
+                got += part.nbytes
+                if part.nbytes < take:  # EOF inside this window
+                    break
         return concat_payloads(parts)
 
     def fsync(self) -> Generator:

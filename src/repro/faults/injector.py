@@ -89,6 +89,8 @@ class FaultInjector:
     def note(self, text: str) -> None:
         """Workload-visible marker: timestamped line in the trace."""
         self.trace.note(self.sim.now, text)
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(text, "faults")
 
     # ------------------------------------------------------------- dispatch
     def _fire(self, event: ev.FaultEvent) -> None:
@@ -98,6 +100,14 @@ class FaultInjector:
         outcome = handler(self, event)
         suffix = f" [{outcome}]" if outcome else ""
         self.trace.note(self.sim.now, f"inject {event.describe()}{suffix}")
+        if self.sim.tracer is not None:
+            # Mirror the injection onto the span timeline so chaos runs
+            # show fault ↔ slowdown correlation in the same Perfetto view.
+            self.sim.tracer.instant(
+                f"inject {event.describe()}",
+                "faults",
+                attrs={"outcome": outcome} if outcome else None,
+            )
 
     # -- fabric -----------------------------------------------------------
     def _do_partition(self, event: ev.Partition) -> str:

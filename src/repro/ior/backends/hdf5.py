@@ -15,6 +15,7 @@ from typing import Generator, Tuple
 from repro.hdf5 import H5File, MpioVfd, Sec2Vfd
 from repro.ior.backends.base import Backend
 from repro.mpiio import UfsDriver
+from repro.obs.tracer import NOOP_SPAN
 
 DATASET = "data"
 
@@ -50,15 +51,27 @@ class Hdf5Backend(Backend):
             dataset = h5.dataset(DATASET)
         return (h5, dataset)
 
+    def _span(self, name: str, **attrs):
+        tracer = self.ctx.sim.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(
+            name, "hdf5", node=self.ctx.node.name, attrs=attrs or None
+        )
+
     def write(self, handle: Tuple, offset: int, payload) -> Generator:
         _h5, dataset = handle
-        return (
-            yield from dataset.write((offset,), (payload.nbytes,), payload)
-        )
+        with self._span(
+            "hdf5.dataset_write", offset=offset, nbytes=payload.nbytes
+        ):
+            return (
+                yield from dataset.write((offset,), (payload.nbytes,), payload)
+            )
 
     def read(self, handle: Tuple, offset: int, nbytes: int) -> Generator:
         _h5, dataset = handle
-        return (yield from dataset.read((offset,), (nbytes,)))
+        with self._span("hdf5.dataset_read", offset=offset, nbytes=nbytes):
+            return (yield from dataset.read((offset,), (nbytes,)))
 
     def fsync(self, handle: Tuple) -> Generator:
         h5, _dataset = handle

@@ -8,10 +8,19 @@ from typing import Generator
 
 from repro.ior.backends.base import Backend
 from repro.mpiio import MpiFile, UfsDriver
+from repro.obs.tracer import NOOP_SPAN
 
 
 class MpiioBackend(Backend):
     name = "MPIIO"
+
+    def _span(self, name: str, **attrs):
+        tracer = self.ctx.sim.tracer
+        if tracer is None:
+            return NOOP_SPAN
+        return tracer.span(
+            name, "mpiio", node=self.ctx.node.name, attrs=attrs or None
+        )
 
     def open(self, path: str, create: bool) -> Generator:
         driver = UfsDriver(self.storage.mount)
@@ -21,14 +30,26 @@ class MpiioBackend(Backend):
         return handle
 
     def write(self, handle, offset: int, payload) -> Generator:
-        if self.params.collective:
-            return (yield from handle.write_at_all(offset, payload))
-        return (yield from handle.write_at(offset, payload))
+        collective = self.params.collective
+        with self._span(
+            "mpiio.write_at_all" if collective else "mpiio.write_at",
+            offset=offset,
+            nbytes=payload.nbytes,
+        ):
+            if collective:
+                return (yield from handle.write_at_all(offset, payload))
+            return (yield from handle.write_at(offset, payload))
 
     def read(self, handle, offset: int, nbytes: int) -> Generator:
-        if self.params.collective:
-            return (yield from handle.read_at_all(offset, nbytes))
-        return (yield from handle.read_at(offset, nbytes))
+        collective = self.params.collective
+        with self._span(
+            "mpiio.read_at_all" if collective else "mpiio.read_at",
+            offset=offset,
+            nbytes=nbytes,
+        ):
+            if collective:
+                return (yield from handle.read_at_all(offset, nbytes))
+            return (yield from handle.read_at(offset, nbytes))
 
     def fsync(self, handle) -> Generator:
         yield from handle.sync()

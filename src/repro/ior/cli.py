@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lustre", action="store_true",
                         help="run against the Lustre baseline instead")
     parser.add_argument("--seed", type=int, default=0xDA05)
+    # observability
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open at ui.perfetto.dev)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a metrics dump (.prom/.txt = Prometheus "
+                             "text, anything else = JSON snapshot)")
     return parser
 
 
@@ -104,8 +111,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             server_nodes=args.servers, client_nodes=args.nodes,
             seed=args.seed,
         )
+    if args.trace_out or args.metrics_out:
+        cluster.observe(
+            tracing=bool(args.trace_out), metrics=bool(args.metrics_out)
+        )
     result = run_ior(cluster, params, ppn=args.ppn)
     print(result.summary())
+    if args.trace_out:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(cluster.sim.tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if args.metrics_out:
+        from repro.obs import write_metrics
+
+        write_metrics(cluster.sim.metrics, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 1 if result.verify_errors else 0
 
 

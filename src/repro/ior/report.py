@@ -8,6 +8,22 @@ from typing import Dict, List, Optional
 from repro.ior.config import IorParams
 from repro.units import fmt_bw, fmt_size, fmt_time
 
+#: Per-rank rows printed in the latency table before eliding the rest.
+_MAX_RANK_ROWS = 16
+
+
+@dataclass
+class LatencySummary:
+    """Per-rank per-op latency percentiles (from the metrics registry)."""
+
+    op: str
+    rank: int
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+
 
 @dataclass
 class PhaseResult:
@@ -18,6 +34,9 @@ class PhaseResult:
     seconds: float
     nbytes: int
     verify_errors: int = 0
+    #: per-rank seconds spent exclusively in each stack layer (populated
+    #: when the cluster runs with tracing; see repro.obs.breakdown)
+    layer_seconds: Optional[Dict[str, float]] = None
 
     @property
     def bandwidth(self) -> float:
@@ -32,6 +51,8 @@ class IorResult:
     nprocs: int
     client_nodes: int
     phases: List[PhaseResult] = field(default_factory=list)
+    #: per-rank latency percentiles (populated when metrics are enabled)
+    latency: List[LatencySummary] = field(default_factory=list)
 
     def _best(self, op: str) -> Optional[PhaseResult]:
         candidates = [p for p in self.phases if p.op == op]
@@ -69,8 +90,46 @@ class IorResult:
                 + (f"  VERIFY ERRORS: {phase.verify_errors}"
                    if phase.verify_errors else "")
             )
+            if phase.layer_seconds:
+                lines.extend(self._breakdown_lines(phase))
         if self._best("write"):
             lines.append(f"Max Write: {fmt_bw(self.max_write_bw)}")
         if self._best("read"):
             lines.append(f"Max Read:  {fmt_bw(self.max_read_bw)}")
+        lines.extend(self._latency_lines())
         return "\n".join(lines)
+
+    @staticmethod
+    def _breakdown_lines(phase: PhaseResult) -> List[str]:
+        lines = ["    per-layer breakdown (per-rank seconds):"]
+        wall = phase.seconds
+        for layer, seconds in sorted(
+            phase.layer_seconds.items(), key=lambda kv: -kv[1]
+        ):
+            share = seconds / wall if wall > 0 else 0.0
+            lines.append(
+                f"      {layer:<14s} {fmt_time(seconds):>10s}  {share:6.1%}"
+            )
+        return lines
+
+    def _latency_lines(self) -> List[str]:
+        if not self.latency:
+            return []
+        lines = [
+            "per-rank op latency:",
+            "  op    rank  count        mean         p50         p95         p99",
+        ]
+        shown = 0
+        for entry in self.latency:
+            if shown >= _MAX_RANK_ROWS:
+                lines.append(
+                    f"  ... {len(self.latency) - shown} more ranks elided"
+                )
+                break
+            lines.append(
+                f"  {entry.op:5s} {entry.rank:4d} {entry.count:6d} "
+                f"{fmt_time(entry.mean):>11s} {fmt_time(entry.p50):>11s} "
+                f"{fmt_time(entry.p95):>11s} {fmt_time(entry.p99):>11s}"
+            )
+            shown += 1
+        return lines

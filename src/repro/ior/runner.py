@@ -16,8 +16,10 @@ from repro.ior.backends import make_backend
 from repro.ior.config import IorParams
 from repro.ior.env import DaosIorEnv, LustreIorEnv, RankStorage
 from repro.ior.pattern import make_payload, verify_payload
-from repro.ior.report import IorResult, PhaseResult
+from repro.ior.report import IorResult, LatencySummary, PhaseResult
 from repro.mpi import MpiWorld
+from repro.obs.breakdown import phase_layer_breakdown
+from repro.obs.tracer import NOOP_SPAN
 
 
 def run_ior(
@@ -52,7 +54,37 @@ def run_ior(
         client_nodes=len(nodes),
     )
     result.phases = rank_results[0]
+    _attach_observability(result, cluster.sim, world.nprocs)
     return result
+
+
+def _attach_observability(result: IorResult, sim, nprocs: int) -> None:
+    """Decorate the result with trace/metrics-derived detail when the
+    cluster runs observed (no-op otherwise)."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        for phase in result.phases:
+            phase.layer_seconds = phase_layer_breakdown(
+                tracer.spans, phase.op, phase.repetition, nprocs, phase.seconds
+            )
+    metrics = getattr(sim, "metrics", None)
+    if metrics is not None:
+        for op in ("write", "read"):
+            for rank in range(nprocs):
+                hist = metrics.histograms.get(f"ior.rank{rank}.{op}.latency")
+                if hist is None or hist.count == 0:
+                    continue
+                result.latency.append(
+                    LatencySummary(
+                        op=op,
+                        rank=rank,
+                        count=hist.count,
+                        mean=hist.mean,
+                        p50=hist.p50,
+                        p95=hist.p95,
+                        p99=hist.p99,
+                    )
+                )
 
 
 def _rank_main(ctx, params: IorParams, env) -> Generator:
@@ -70,16 +102,36 @@ def _rank_main(ctx, params: IorParams, env) -> Generator:
     return phases
 
 
+def _ior_op_span(ctx, name: str, repetition: int, offset: int):
+    tracer = ctx.sim.tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(
+        name,
+        "ior",
+        node=ctx.node.name,
+        attrs={"rank": ctx.rank, "rep": repetition, "offset": offset},
+    )
+
+
 def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
     path = params.file_path(ctx.rank)
+    sim = ctx.sim
+    metrics = sim.metrics
     handle = yield from backend.open(path, create=True)
     yield from ctx.barrier()
-    start = ctx.sim.now
+    start = sim.now
     for segment in range(params.segments):
         for transfer in range(params.transfers_per_block):
             offset = params.offset(ctx.size, ctx.rank, segment, transfer)
             payload = make_payload(path, offset, params.transfer_size)
-            yield from backend.write(handle, offset, payload)
+            op_start = sim.now
+            with _ior_op_span(ctx, "ior.write", repetition, offset):
+                yield from backend.write(handle, offset, payload)
+            if metrics is not None:
+                elapsed = sim.now - op_start
+                metrics.observe(f"ior.rank{ctx.rank}.write.latency", elapsed)
+                metrics.observe("ior.write.latency", elapsed)
     if params.fsync:
         yield from backend.fsync(handle)
     yield from backend.close(handle)
@@ -99,14 +151,22 @@ def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
     path = params.file_path(read_rank)
     handle = yield from backend.open(path, create=False)
     errors = 0
+    sim = ctx.sim
+    metrics = sim.metrics
     yield from ctx.barrier()
-    start = ctx.sim.now
+    start = sim.now
     for segment in range(params.segments):
         for transfer in range(params.transfers_per_block):
             offset = params.offset(ctx.size, read_rank, segment, transfer)
-            payload = yield from backend.read(
-                handle, offset, params.transfer_size
-            )
+            op_start = sim.now
+            with _ior_op_span(ctx, "ior.read", repetition, offset):
+                payload = yield from backend.read(
+                    handle, offset, params.transfer_size
+                )
+            if metrics is not None:
+                elapsed = sim.now - op_start
+                metrics.observe(f"ior.rank{ctx.rank}.read.latency", elapsed)
+                metrics.observe("ior.read.latency", elapsed)
             if params.verify:
                 if payload.nbytes != params.transfer_size or not verify_payload(
                     path, offset, payload

@@ -177,16 +177,39 @@ class Fabric:
         pairs drop silently, flaky rules may drop, per-pair extra latency
         adds to the base model."""
         pair = (src.name, target.addr.name)
-        if pair in self._blocked:
+        tracer = self.sim.tracer
+        if pair in self._blocked or (
+            (rule := self._drop_rules.get(pair)) is not None and rule()
+        ):
             self.dropped_messages += 1
-            return
-        rule = self._drop_rules.get(pair)
-        if rule is not None and rule():
-            self.dropped_messages += 1
+            if tracer is not None:
+                tracer.instant(
+                    "fabric.drop",
+                    "fabric",
+                    node=src.name,
+                    attrs={"dst": target.addr.name, "tag": message.tag},
+                )
+            if self.sim.metrics is not None:
+                self.sim.metrics.incr("fabric.msgs.dropped")
             return
         delay = self.msg_delay(src, target.addr, message.nbytes)
         delay += self._extra_delay.get(pair, 0.0)
         self.delivered_messages += 1
+        if tracer is not None:
+            tracer.event(
+                "fabric.msg",
+                "fabric",
+                node=src.name,
+                start=self.sim.now,
+                end=self.sim.now + delay,
+                attrs={
+                    "dst": target.addr.name,
+                    "nbytes": message.nbytes,
+                    "tag": message.tag,
+                },
+            )
+        if self.sim.metrics is not None:
+            self.sim.metrics.incr("fabric.msgs.delivered")
         self.sim.schedule(delay, target._deliver, message)
 
     # -- endpoint registry -------------------------------------------------------

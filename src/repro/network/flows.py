@@ -322,3 +322,13 @@ class FlowNetwork:
         for flow in flows:
             for transfer in flow._transfers:
                 self._schedule_completion(transfer)
+
+        # Per-edge utilisation timelines: every reallocation is a change
+        # point of the piecewise-constant fluid rates, so sampling here
+        # captures the exact utilisation curve of each link.
+        metrics = self.sim.metrics
+        if metrics is not None:
+            now = self.sim.now
+            for link in self._links.values():
+                gauge = metrics.gauge(f"fabric.link.{link.name}.utilization")
+                gauge.set(now, link.utilization())

@@ -132,21 +132,43 @@ class RpcServer(Endpoint):
         rpc_id = request["id"]
         reply_to = request["reply_to"]
         handler = self._handlers.get(op)
-        yield self.dispatch_overhead
-        if self._unavailable is not None:
-            yield self.unavailable_delay
-            outcome = ("err", self._unavailable())
-        elif handler is None:
-            outcome = ("err", NetworkError(f"{self.name}: no handler for {op!r}"))
-        else:
-            try:
-                result = yield self.sim.spawn(
-                    handler(message.src, **request["args"]),
-                    f"h:{self.name}:{op}",
+        tracer = self.sim.tracer
+        span = None
+        if tracer is not None:
+            # Adopt the caller's span (shipped in the request) as parent so
+            # the server-side work hangs off the client op in the trace.
+            span = tracer.begin(
+                f"rpc.{op}",
+                "rpc",
+                node=self.addr.name,
+                parent_id=request.get("trace_ctx"),
+                attrs={"src": message.src},
+            )
+        try:
+            yield self.dispatch_overhead
+            if self._unavailable is not None:
+                yield self.unavailable_delay
+                outcome = ("err", self._unavailable())
+            elif handler is None:
+                outcome = (
+                    "err",
+                    NetworkError(f"{self.name}: no handler for {op!r}"),
                 )
-                outcome = ("ok", result)
-            except Exception as exc:  # noqa: BLE001 - shipped to caller
-                outcome = ("err", exc)
+            else:
+                try:
+                    task = self.sim.spawn(
+                        handler(message.src, **request["args"]),
+                        f"h:{self.name}:{op}",
+                    )
+                    if tracer is not None:
+                        tracer.bind(task, span)
+                    result = yield task
+                    outcome = ("ok", result)
+                except Exception as exc:  # noqa: BLE001 - shipped to caller
+                    outcome = ("err", exc)
+        finally:
+            if tracer is not None:
+                tracer.end(span)
         self.send(
             reply_to,
             {"id": rpc_id, "outcome": outcome},
@@ -185,18 +207,19 @@ class Rpc:
         rpc_id = next(_rpc_ids)
         gate = Gate(self.sim)
         self._pending[rpc_id] = gate
-        self.endpoint.send(
-            dst,
-            {
-                "op": op,
-                "id": rpc_id,
-                "args": args or {},
-                "reply_to": self.endpoint.name,
-                "rep_bytes": rep_bytes,
-            },
-            nbytes=req_bytes,
-            tag="rpc-req",
-        )
+        request = {
+            "op": op,
+            "id": rpc_id,
+            "args": args or {},
+            "reply_to": self.endpoint.name,
+            "rep_bytes": rep_bytes,
+        }
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # Span propagation rides the payload dict; nbytes (the modelled
+            # wire size) is untouched, so tracing cannot change timing.
+            request["trace_ctx"] = tracer.current_span_id()
+        self.endpoint.send(dst, request, nbytes=req_bytes, tag="rpc-req")
         status, value = yield gate
         if status == "err":
             raise value

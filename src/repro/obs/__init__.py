@@ -1,0 +1,48 @@
+"""Observability: span tracing, metrics, Chrome-trace export.
+
+Strictly opt-in: a fresh :class:`repro.sim.core.Simulator` carries
+``tracer = metrics = None`` and every instrumented code path costs one
+attribute check when they stay None. :func:`install` flips a simulator
+to observed; ``Cluster.observe()`` is the usual entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.obs.breakdown import phase_layer_breakdown
+from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry, write_metrics
+from repro.obs.tracer import NULL_TRACER, Span, Tracer, tracer_of
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "tracer_of",
+    "MetricsRegistry",
+    "write_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "phase_layer_breakdown",
+    "install",
+]
+
+
+def install(
+    sim,
+    tracing: bool = True,
+    metrics: bool = True,
+    seed: int = 0xDA05,
+) -> Tuple[Optional[Tracer], Optional[MetricsRegistry]]:
+    """Attach a tracer and/or metrics registry to ``sim``.
+
+    Idempotent: already-installed instruments are kept. Returns the
+    ``(tracer, registry)`` pair (entries are None when not requested).
+    """
+    if tracing and sim.tracer is None:
+        sim.tracer = Tracer(sim, enabled=True)
+    if metrics and sim.metrics is None:
+        sim.metrics = MetricsRegistry(sim, seed=seed)
+    return sim.tracer, sim.metrics

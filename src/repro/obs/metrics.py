@@ -1,0 +1,326 @@
+"""Hierarchical metrics registry with histograms and export formats.
+
+Metric names follow ``layer.component.metric`` (DESIGN.md §7), e.g.
+``engine.e0.t1.inflight`` or ``ior.rank3.write.latency``. The registry
+offers four instrument kinds:
+
+* :class:`Counter` — monotonically increasing totals,
+* :class:`Gauge` — time-weighted values with a bounded timeline of
+  (t, value) points (per-edge fabric utilisation, queue depths),
+* :class:`Histogram` — log2-bucketed latency distributions with
+  p50/p95/p99 estimation,
+* :class:`Reservoir` — bounded uniform value samples (algorithm R),
+  seeded through :class:`repro.sim.rng.RngStreams` so observation never
+  perturbs simulation randomness.
+
+Exports: :meth:`MetricsRegistry.to_prometheus` (text exposition format)
+and :meth:`MetricsRegistry.snapshot` (JSON-serialisable dict);
+:func:`write_metrics` picks the format from the file extension.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from typing import Any, Dict, List
+
+from repro.sim.rng import RngStreams
+
+#: Smallest histogram bucket upper bound, in seconds (1 ns).
+_HIST_LO = 1e-9
+#: Number of log2 buckets; covers 1 ns .. ~584 years, plenty.
+_HIST_BUCKETS = 64
+
+#: Points kept per gauge timeline (utilisation curves, queue depths).
+GAUGE_TIMELINE_CAP = 4096
+
+#: Values kept per reservoir.
+RESERVOIR_CAP = 512
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def incr(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Time-weighted gauge with a bounded (t, value) timeline.
+
+    The integral/mean machinery mirrors ``repro.sim.trace._Gauge``
+    (including the created-time window fix); on top of it the timeline
+    retains the most recent :data:`GAUGE_TIMELINE_CAP` set-points so
+    utilisation curves survive into the JSON snapshot.
+    """
+
+    __slots__ = ("name", "created", "last_t", "value", "integral", "timeline",
+                 "vmin", "vmax")
+
+    def __init__(self, name: str, created: float) -> None:
+        self.name = name
+        self.created = created
+        self.last_t = created
+        self.value = 0.0
+        self.integral = 0.0
+        self.timeline: deque = deque(maxlen=GAUGE_TIMELINE_CAP)
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def set(self, now: float, value: float) -> None:
+        self.integral += self.value * (now - self.last_t)
+        self.last_t = now
+        self.value = value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        self.timeline.append((now, value))
+
+    def add(self, now: float, delta: float) -> None:
+        self.set(now, self.value + delta)
+
+    def mean(self, now: float) -> float:
+        window = now - self.created
+        total = self.integral + self.value * (now - self.last_t)
+        return total / window if window > 0 else self.value
+
+
+class Histogram:
+    """Log2-bucketed histogram of non-negative values (latencies).
+
+    Bucket i holds values in (lo * 2^(i-1), lo * 2^i]; bucket 0 holds
+    everything <= lo. Quantiles interpolate within the matched bucket,
+    clamped by the exact observed min/max.
+    """
+
+    __slots__ = ("name", "buckets", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets = [0] * _HIST_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        self.buckets[self._index(value)] += 1
+
+    @staticmethod
+    def _index(value: float) -> int:
+        if value <= _HIST_LO:
+            return 0
+        idx = int(math.ceil(math.log2(value / _HIST_LO)))
+        return min(max(idx, 0), _HIST_BUCKETS - 1)
+
+    @staticmethod
+    def _upper(idx: int) -> float:
+        return _HIST_LO * (2.0 ** idx)
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile (q in [0, 1]); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        if q <= 0:
+            return self.vmin
+        if q >= 1:
+            return self.vmax
+        rank = q * self.count
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lo = 0.0 if idx == 0 else self._upper(idx - 1)
+                hi = self._upper(idx)
+                frac = (rank - seen) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.vmin), self.vmax)
+            seen += n
+        return self.vmax
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Reservoir:
+    """Bounded uniform sample reservoir (algorithm R), deterministic."""
+
+    __slots__ = ("name", "cap", "values", "count", "total", "_rng")
+
+    def __init__(self, name: str, rng, cap: int = RESERVOIR_CAP) -> None:
+        self.name = name
+        self.cap = cap
+        self.values: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self._rng = rng
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self.values) < self.cap:
+            self.values.append(value)
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.cap:
+            self.values[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry keyed by dotted metric names."""
+
+    def __init__(self, sim, seed: int = 0xDA05) -> None:
+        self.sim = sim
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.reservoirs: Dict[str, Reservoir] = {}
+        # Dedicated stream family: enabling metrics must never perturb
+        # the simulation's own RNG draws.
+        self._rng = RngStreams(seed ^ 0x0B5E)
+
+    # --------------------------------------------------------------- access
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name, self.sim.now)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def reservoir(self, name: str) -> Reservoir:
+        r = self.reservoirs.get(name)
+        if r is None:
+            r = self.reservoirs[name] = Reservoir(
+                name, self._rng.stream(f"metrics:{name}")
+            )
+        return r
+
+    # shorthands used on instrumented hot paths
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).incr(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(self.sim.now, value)
+
+    # --------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable dump of every instrument."""
+        now = self.sim.now
+        return {
+            "sim_time": now,
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: {
+                    "value": g.value,
+                    "mean": g.mean(now),
+                    "min": None if g.vmin is math.inf else g.vmin,
+                    "max": None if g.vmax is -math.inf else g.vmax,
+                    "timeline": [[t, v] for t, v in g.timeline],
+                }
+                for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": None if h.vmin is math.inf else h.vmin,
+                    "max": None if h.vmax is -math.inf else h.vmax,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "p99": h.p99,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+            "reservoirs": {
+                name: {
+                    "count": r.count,
+                    "mean": r.mean,
+                    "values": list(r.values),
+                }
+                for name, r in sorted(self.reservoirs.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (names sanitised to [a-z0-9_])."""
+        now = self.sim.now
+        lines: List[str] = []
+
+        def sanitise(name: str) -> str:
+            return "".join(
+                ch if ch.isalnum() or ch == "_" else "_" for ch in name
+            )
+
+        for name, c in sorted(self.counters.items()):
+            metric = sanitise(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {c.value:g}")
+        for name, g in sorted(self.gauges.items()):
+            metric = sanitise(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {g.value:g}")
+            lines.append(f"{metric}_mean {g.mean(now):g}")
+        for name, h in sorted(self.histograms.items()):
+            metric = sanitise(name)
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f'{metric}{{quantile="0.5"}} {h.p50:g}')
+            lines.append(f'{metric}{{quantile="0.95"}} {h.p95:g}')
+            lines.append(f'{metric}{{quantile="0.99"}} {h.p99:g}')
+            lines.append(f"{metric}_sum {h.total:g}")
+            lines.append(f"{metric}_count {h.count}")
+        return "\n".join(lines) + "\n"
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> None:
+    """Write a metrics dump; ``.prom``/``.txt`` → Prometheus text,
+    anything else → JSON snapshot."""
+    if path.endswith((".prom", ".txt")):
+        payload = registry.to_prometheus()
+    else:
+        payload = json.dumps(registry.snapshot(), indent=1, sort_keys=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)

@@ -1,0 +1,46 @@
+"""Trace-file validation CLI: ``python -m repro.obs.validate TRACE.json``.
+
+Exit status 0 when the file parses and passes the trace-event schema
+checks in :func:`repro.obs.chrome.validate_chrome_trace`; 1 otherwise,
+with problems listed on stderr. Used by ``make trace`` and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.chrome import validate_chrome_trace
+
+
+def validate_file(path: str) -> list:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    return validate_chrome_trace(doc)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.validate",
+        description="Validate a Chrome trace-event JSON file.",
+    )
+    parser.add_argument("trace", help="path to the trace JSON file")
+    args = parser.parse_args(argv)
+    try:
+        problems = validate_file(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if problems:
+        for problem in problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        return 1
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        n_events = len(json.load(fh).get("traceEvents", []))
+    print(f"{args.trace}: OK ({n_events} events)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make trace
+    sys.exit(main())

@@ -57,6 +57,7 @@ class Task:
     __slots__ = (
         "sim",
         "name",
+        "tid",
         "_gen",
         "_done",
         "_result",
@@ -69,6 +70,8 @@ class Task:
     def __init__(self, sim: "Simulator", gen: TaskGen, name: str = ""):
         self.sim = sim
         self.name = name or getattr(gen, "__name__", "task")
+        sim._next_tid += 1
+        self.tid = sim._next_tid
         self._gen = gen
         self._done = False
         self._result: Any = None
@@ -127,6 +130,9 @@ class Task:
             self._gen.close()
             self._finish(None, None)
             return
+        sim = self.sim
+        prev_task = sim._current_task
+        sim._current_task = self
         try:
             if to_throw is not None:
                 yielded = self._gen.throw(to_throw)
@@ -138,6 +144,8 @@ class Task:
         except BaseException as exc:  # noqa: BLE001 - deliberately broad
             self._finish(None, exc)
             return
+        finally:
+            sim._current_task = prev_task
         self._wire(yielded)
 
     def _wire(self, yielded: Any) -> None:
@@ -193,6 +201,13 @@ class Simulator:
         self._seq = 0
         self._failures: list[Task] = []
         self._running = False
+        self._next_tid = 0
+        self._current_task: Optional[Task] = None
+        # Observability hooks; populated by repro.obs.install(). Kept as
+        # plain attributes (not imports) so sim.core stays dependency-free
+        # and tracing is strictly opt-in.
+        self.tracer = None
+        self.metrics = None
 
     @property
     def now(self) -> float:

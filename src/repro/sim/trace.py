@@ -1,23 +1,36 @@
 """Lightweight metrics collection for simulated components.
 
 A :class:`Stats` object is a bag of counters, time-weighted gauges and
-simple reservoirs that components update as they run; benchmarks read it
-afterwards. Kept intentionally simple — no background tasks, no I/O.
+bounded sample reservoirs that components update as they run; benchmarks
+read it afterwards. Kept intentionally simple — no background tasks, no
+I/O. Reservoir eviction draws from a dedicated named RNG stream so that
+sampling pressure never perturbs simulation randomness.
+
+For hierarchical metrics with histograms/percentiles and export formats
+see :mod:`repro.obs.metrics`; this module stays the in-simulation
+low-overhead bag.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 from repro.sim.core import Simulator
+from repro.sim.rng import RngStreams
 
 
 @dataclass
 class _Gauge:
-    """Time-weighted gauge: integrates value over simulated time."""
+    """Time-weighted gauge: integrates value over simulated time.
 
+    ``created`` pins the start of the observed window: a gauge first set
+    at t>0 must not integrate a phantom 0 over [0, t) nor dilute its mean
+    by dividing over time it never observed.
+    """
+
+    created: float = 0.0
     last_t: float = 0.0
     value: float = 0.0
     integral: float = 0.0
@@ -28,8 +41,94 @@ class _Gauge:
         self.value = value
 
     def mean(self, now: float) -> float:
+        window = now - self.created
         total = self.integral + self.value * (now - self.last_t)
-        return total / now if now > 0 else 0.0
+        return total / window if window > 0 else self.value
+
+
+class _Reservoir:
+    """Bounded uniform sample reservoir (algorithm R).
+
+    Holds at most ``cap`` values; once full, the i-th observation
+    replaces a random slot with probability cap/i, keeping a uniform
+    sample of everything seen. ``count``/``total`` stay exact so means
+    over the full population remain exact even after eviction starts.
+    """
+
+    __slots__ = ("cap", "values", "count", "total", "_rng")
+
+    def __init__(self, cap: int, rng) -> None:
+        self.cap = cap
+        self.values: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self._rng = rng
+
+    def append(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self.values) < self.cap:
+            self.values.append(value)
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.cap:
+            self.values[slot] = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, idx):
+        return self.values[idx]
+
+
+#: Default per-key reservoir capacity; enough for stable percentiles,
+#: small enough that week-long sweeps stay O(1) per key.
+RESERVOIR_CAP = 1024
+
+
+class _SampleMap:
+    """dict-like view creating a seeded reservoir per key on first use."""
+
+    __slots__ = ("_streams", "_data")
+
+    def __init__(self, streams: RngStreams) -> None:
+        self._streams = streams
+        self._data: Dict[str, _Reservoir] = {}
+
+    def __getitem__(self, key: str) -> _Reservoir:
+        res = self._data.get(key)
+        if res is None:
+            res = self._data[key] = _Reservoir(
+                RESERVOIR_CAP, self._streams.stream(f"stats:{key}")
+            )
+        return res
+
+    def get(self, key: str, default=None):
+        return self._data.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def keys(self):
+        return self._data.keys()
+
+    def values(self):
+        return self._data.values()
+
+    def items(self):
+        return self._data.items()
 
 
 @dataclass
@@ -39,7 +138,9 @@ class Stats:
     sim: Simulator
     counters: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
     gauges: Dict[str, _Gauge] = field(default_factory=dict)
-    samples: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+    samples: _SampleMap = field(
+        default_factory=lambda: _SampleMap(RngStreams(0x57A75))
+    )
 
     def incr(self, key: str, amount: float = 1.0) -> None:
         self.counters[key] += amount
@@ -47,7 +148,8 @@ class Stats:
     def gauge(self, key: str, value: float) -> None:
         gauge = self.gauges.get(key)
         if gauge is None:
-            gauge = self.gauges[key] = _Gauge(last_t=self.sim.now)
+            now = self.sim.now
+            gauge = self.gauges[key] = _Gauge(created=now, last_t=now)
         gauge.set(self.sim.now, value)
 
     def sample(self, key: str, value: float) -> None:
@@ -61,5 +163,5 @@ class Stats:
         return gauge.mean(self.sim.now) if gauge else 0.0
 
     def sample_mean(self, key: str) -> float:
-        values = self.samples.get(key)
-        return sum(values) / len(values) if values else 0.0
+        res = self.samples.get(key)
+        return res.mean() if res is not None else 0.0

@@ -97,3 +97,29 @@ def test_ior_figures_exactly_reproducible(chaos_seed):
         return (result.max_write_bw, result.max_read_bw)
 
     assert run_once() == run_once()
+
+
+@pytest.mark.slow
+def test_ior_figures_identical_with_tracing_on(chaos_seed):
+    """Observability must be a pure observer: spans and metrics never
+    schedule events, never yield, and draw from dedicated RNG streams,
+    so the same seed yields byte-identical figures traced or untraced."""
+
+    def run_once(observe: bool):
+        cluster = small_cluster(
+            server_nodes=2, client_nodes=2, seed=chaos_seed
+        )
+        if observe:
+            tracer, metrics = cluster.observe()
+            assert tracer is cluster.sim.tracer
+            assert metrics is cluster.sim.metrics
+        params = IorParams(
+            api="DFS",
+            block_size=256 * KiB,
+            transfer_size=64 * KiB,
+            segments=1,
+        )
+        result = run_ior(cluster, params, ppn=2)
+        return (result.max_write_bw, result.max_read_bw)
+
+    assert run_once(observe=False) == run_once(observe=True)

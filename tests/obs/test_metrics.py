@@ -1,0 +1,202 @@
+"""Metrics registry and Stats reservoir/gauge semantics."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    GAUGE_TIMELINE_CAP,
+    Histogram,
+    MetricsRegistry,
+    RESERVOIR_CAP,
+    write_metrics,
+)
+from repro.sim.trace import Stats, RESERVOIR_CAP as STATS_RESERVOIR_CAP
+
+
+class _Clock:
+    """Duck-typed stand-in for Simulator: registries only read ``now``."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+
+# ------------------------------------------------------------------ gauges
+def test_gauge_mean_uses_observed_window_not_absolute_time():
+    clock = _Clock(now=10.0)
+    reg = MetricsRegistry(clock)
+    g = reg.gauge("engine.e0.t0.inflight")  # created at t=10
+    g.set(10.0, 4.0)
+    clock.now = 20.0
+    # window is [10, 20): mean must be 4.0, not 4.0 * 10/20 = 2.0
+    assert g.mean(clock.now) == pytest.approx(4.0)
+    snap = reg.snapshot()
+    assert snap["gauges"]["engine.e0.t0.inflight"]["mean"] == pytest.approx(4.0)
+
+
+def test_gauge_time_weighted_mean_and_extrema():
+    reg = MetricsRegistry(_Clock())
+    g = reg.gauge("fabric.link.l0.utilization")
+    g.set(0.0, 2.0)
+    g.set(1.0, 4.0)
+    g.set(2.0, 0.0)
+    # 2.0 over [0,1) + 4.0 over [1,2) = 6.0 over a 2 s window
+    assert g.mean(2.0) == pytest.approx(3.0)
+    assert g.vmin == 0.0 and g.vmax == 4.0
+    assert list(g.timeline) == [(0.0, 2.0), (1.0, 4.0), (2.0, 0.0)]
+
+
+def test_gauge_timeline_is_bounded():
+    reg = MetricsRegistry(_Clock())
+    g = reg.gauge("x")
+    for i in range(GAUGE_TIMELINE_CAP + 100):
+        g.set(float(i), float(i))
+    assert len(g.timeline) == GAUGE_TIMELINE_CAP
+    assert g.timeline[0][0] == 100.0  # oldest points evicted
+
+
+# -------------------------------------------------------------- histograms
+def test_histogram_percentiles_bracket_known_distribution():
+    h = Histogram("lat")
+    values = [0.001 * (i + 1) for i in range(100)]  # 1 ms .. 100 ms
+    for v in values:
+        h.observe(v)
+    assert h.count == 100
+    assert h.mean == pytest.approx(sum(values) / 100)
+    # log2 buckets are coarse: accept a factor-of-two bracket around the
+    # exact quantile, plus the exact-extrema clamp.
+    assert 0.025 <= h.p50 <= 0.1
+    assert 0.05 <= h.p95 <= 0.1
+    assert h.quantile(0.0) == h.vmin == pytest.approx(0.001)
+    assert h.quantile(1.0) == h.vmax == pytest.approx(0.1)
+    assert h.p50 <= h.p95 <= h.p99
+
+
+def test_histogram_empty_and_tiny_values():
+    h = Histogram("lat")
+    assert h.quantile(0.5) == 0.0 and h.mean == 0.0
+    h.observe(0.0)  # below the smallest bucket bound
+    assert h.p50 == 0.0
+    h.observe(5.0)
+    assert h.vmax == 5.0
+    assert h.p99 <= 5.0
+
+
+def test_histogram_single_value_quantiles_are_exact():
+    h = Histogram("lat")
+    h.observe(0.25)
+    # interpolation is clamped by the observed extrema
+    for q in (0.01, 0.5, 0.95, 0.99):
+        assert h.quantile(q) == pytest.approx(0.25)
+
+
+# -------------------------------------------------------------- reservoirs
+def test_reservoir_is_bounded_with_exact_running_mean():
+    reg = MetricsRegistry(_Clock())
+    r = reg.reservoir("samples")
+    n = RESERVOIR_CAP * 4
+    for i in range(n):
+        r.add(float(i))
+    assert len(r.values) == RESERVOIR_CAP
+    assert r.count == n
+    assert r.mean == pytest.approx((n - 1) / 2.0)  # exact despite eviction
+    assert all(0 <= v < n for v in r.values)
+
+
+def test_reservoir_eviction_is_seed_deterministic():
+    def fill(seed):
+        r = MetricsRegistry(_Clock(), seed=seed).reservoir("s")
+        for i in range(RESERVOIR_CAP * 3):
+            r.add(float(i))
+        return list(r.values)
+
+    assert fill(1) == fill(1)
+    assert fill(1) != fill(2)
+
+
+# ------------------------------------------------------------------ export
+def test_snapshot_is_json_serialisable_and_complete():
+    clock = _Clock()
+    reg = MetricsRegistry(clock)
+    reg.incr("fabric.msgs.delivered", 3)
+    reg.set_gauge("engine.e0.t0.inflight", 2.0)
+    reg.observe("ior.write.latency", 0.004)
+    reg.reservoir("r").add(1.5)
+    clock.now = 1.0
+    snap = json.loads(json.dumps(reg.snapshot()))
+    assert snap["sim_time"] == 1.0
+    assert snap["counters"]["fabric.msgs.delivered"] == 3
+    assert snap["gauges"]["engine.e0.t0.inflight"]["value"] == 2.0
+    hist = snap["histograms"]["ior.write.latency"]
+    assert hist["count"] == 1 and hist["p50"] == pytest.approx(0.004)
+    assert snap["reservoirs"]["r"]["values"] == [1.5]
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry(_Clock())
+    reg.incr("fabric.msgs.delivered")
+    reg.set_gauge("engine.e0.t0.inflight", 3.0)
+    reg.observe("ior.write.latency", 0.5)
+    text = reg.to_prometheus()
+    assert "# TYPE fabric_msgs_delivered counter" in text
+    assert "fabric_msgs_delivered 1" in text
+    assert "# TYPE engine_e0_t0_inflight gauge" in text
+    assert "# TYPE ior_write_latency summary" in text
+    assert 'ior_write_latency{quantile="0.5"}' in text
+    assert "ior_write_latency_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_write_metrics_picks_format_by_extension(tmp_path):
+    reg = MetricsRegistry(_Clock())
+    reg.incr("c")
+    prom = tmp_path / "m.prom"
+    blob = tmp_path / "m.json"
+    write_metrics(reg, str(prom))
+    write_metrics(reg, str(blob))
+    assert "# TYPE c counter" in prom.read_text()
+    assert json.loads(blob.read_text())["counters"]["c"] == 1.0
+
+
+# ---------------------------------------------------------- sim.trace.Stats
+def test_stats_samples_are_bounded_reservoirs():
+    stats = Stats(_Clock())
+    n = STATS_RESERVOIR_CAP * 3
+    for i in range(n):
+        stats.sample("latency", float(i))
+    res = stats.samples["latency"]
+    assert len(res) == STATS_RESERVOIR_CAP
+    assert res.count == n
+    # count/total stay exact, so the mean ignores eviction entirely
+    assert stats.sample_mean("latency") == pytest.approx((n - 1) / 2.0)
+
+
+def test_stats_reservoirs_deterministic_across_instances():
+    def fill():
+        stats = Stats(_Clock())
+        for i in range(STATS_RESERVOIR_CAP * 2):
+            stats.sample("k", float(i))
+        return list(stats.samples["k"])
+
+    assert fill() == fill()
+
+
+def test_stats_gauge_created_late_is_not_diluted():
+    clock = _Clock(now=100.0)
+    stats = Stats(clock)
+    stats.gauge("qdepth", 8.0)  # first set at t=100
+    clock.now = 110.0
+    # 8.0 held over the whole observed window [100, 110)
+    assert stats.gauge_mean("qdepth") == pytest.approx(8.0)
+
+
+def test_stats_gauge_mean_time_weighted():
+    clock = _Clock(now=0.0)
+    stats = Stats(clock)
+    stats.gauge("g", 2.0)
+    clock.now = 1.0
+    stats.gauge("g", 4.0)
+    clock.now = 2.0
+    stats.gauge("g", 0.0)
+    assert stats.gauge_mean("g") == pytest.approx(3.0)

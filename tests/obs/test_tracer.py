@@ -1,0 +1,208 @@
+"""Tracer unit tests: nesting, propagation, zero-cost disable, export."""
+
+import json
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.daos.oclass import S1
+from repro.obs import chrome_trace, install, validate_chrome_trace
+from repro.obs.tracer import NULL_TRACER, Tracer, tracer_of
+from repro.sim.core import Simulator
+
+
+# ---------------------------------------------------------------- basics
+def test_span_nesting_within_a_task():
+    sim = Simulator()
+    tracer, _ = install(sim, metrics=False)
+
+    def work():
+        with tracer.span("outer", "client", node="n0"):
+            yield 1.0
+            with tracer.span("inner", "rpc"):
+                yield 0.5
+        yield 0.25
+
+    sim.run_until_complete(sim.spawn(work(), "w"))
+    outer, inner = tracer.spans
+    assert outer.name == "outer" and inner.name == "inner"
+    assert inner.parent_id == outer.span_id
+    assert inner.node == "n0"  # inherited from parent
+    assert outer.start == 0.0 and outer.end == pytest.approx(1.5)
+    assert inner.start == pytest.approx(1.0) and inner.end == pytest.approx(1.5)
+
+
+def test_interleaved_tasks_do_not_cross_parent():
+    """Two concurrent tasks each keep their own span stack."""
+    sim = Simulator()
+    tracer, _ = install(sim, metrics=False)
+
+    def work(label, delay):
+        with tracer.span(f"outer-{label}", "ior", node=label):
+            yield delay
+            with tracer.span(f"inner-{label}", "ior"):
+                yield delay
+
+    a = sim.spawn(work("a", 1.0), "a")
+    b = sim.spawn(work("b", 1.5), "b")
+    sim.run()
+    assert a.done and b.done
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["inner-a"].parent_id == by_name["outer-a"].span_id
+    assert by_name["inner-b"].parent_id == by_name["outer-b"].span_id
+
+
+def test_bind_parents_spawned_task_spans():
+    sim = Simulator()
+    tracer, _ = install(sim, metrics=False)
+
+    def child():
+        with tracer.span("child-work", "engine", node="server"):
+            yield 1.0
+
+    def parent():
+        with tracer.span("parent-op", "client", node="client") as span:
+            task = sim.spawn(child(), "child")
+            tracer.bind(task, span)
+            yield task
+
+    sim.run_until_complete(sim.spawn(parent(), "parent"))
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["child-work"].parent_id == by_name["parent-op"].span_id
+
+
+# ---------------------------------------------------- client→engine round trip
+def test_spans_nest_across_client_engine_round_trip():
+    """A KV put produces the full parent chain: client span → server rpc
+    span (via trace_ctx propagation) → engine service span; plus fabric
+    message events hanging off the client span."""
+    cluster = small_cluster(server_nodes=2, client_nodes=1)
+    tracer, _ = cluster.observe(metrics=False)
+
+    client = cluster.new_client()
+
+    def workload():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("c0", oclass="S1")
+        oid = yield from cont.alloc_oid(S1)
+        obj = cont.open_object(oid)
+        yield from obj.put(b"dkey", b"akey", b"value")
+        obj.close()
+
+    cluster.run(workload())
+    by_name = {}
+    for span in tracer.spans:
+        by_name.setdefault(span.name, []).append(span)
+
+    puts = by_name.get("client.kv_put", [])
+    assert len(puts) == 1
+    put = puts[0]
+    assert put.layer == "client" and put.node == "client0"
+    assert put.end is not None and put.end > put.start
+
+    rpcs = [s for s in by_name.get("rpc.kv_update", [])]
+    assert rpcs, "server-side rpc span missing"
+    for rpc in rpcs:
+        assert rpc.parent_id == put.span_id  # trace_ctx crossed the wire
+        assert rpc.layer == "rpc"
+        assert rpc.start >= put.start and rpc.end <= put.end + 1e-9
+
+    services = by_name.get("engine.service", [])
+    assert services, "engine service span missing"
+    rpc_ids = {r.span_id for r in rpcs}
+    assert any(s.parent_id in rpc_ids for s in services)  # bind() worked
+
+    msgs = [s for s in tracer.spans if s.name == "fabric.msg"]
+    assert any(m.parent_id == put.span_id for m in msgs)
+
+
+# -------------------------------------------------------------- disabled path
+def test_disabled_tracer_records_nothing():
+    sim = Simulator()
+    assert sim.tracer is None
+    tracer = tracer_of(sim)
+    assert tracer is NULL_TRACER
+
+    with tracer.span("x", "client"):
+        pass
+    tracer.begin("y", "client")
+    tracer.end(None)
+    tracer.instant("z", "faults")
+    tracer.event("w", "fabric", None, 0.0, 1.0)
+    assert len(tracer) == 0
+    assert tracer.current_span_id() is None
+
+
+def test_untraced_cluster_adds_zero_events():
+    cluster = small_cluster(server_nodes=2, client_nodes=1)
+    client = cluster.new_client()
+
+    def workload():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("c0", oclass="S1")
+        oid = yield from cont.alloc_oid(S1)
+        obj = cont.open_object(oid)
+        yield from obj.put(b"k", b"a", b"v")
+        obj.close()
+
+    cluster.run(workload())
+    assert cluster.sim.tracer is None
+    assert len(tracer_of(cluster.sim)) == 0
+
+
+# ------------------------------------------------------------- chrome export
+def test_trace_json_round_trips_with_monotonic_timestamps():
+    cluster = small_cluster(server_nodes=2, client_nodes=1)
+    tracer, _ = cluster.observe(metrics=False)
+    client = cluster.new_client()
+
+    def workload():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("c0", oclass="S1")
+        oid = yield from cont.alloc_oid(S1)
+        obj = cont.open_object(oid)
+        for i in range(4):
+            yield from obj.put(f"k{i}".encode(), b"a", b"v")
+            yield from obj.get(f"k{i}".encode(), b"a")
+        obj.close()
+
+    cluster.run(workload())
+    doc = chrome_trace(tracer)
+    blob = json.dumps(doc)
+    parsed = json.loads(blob)
+    assert parsed == doc
+    assert validate_chrome_trace(parsed) == []
+
+    data_events = [e for e in parsed["traceEvents"] if e["ph"] != "M"]
+    assert data_events
+    timestamps = [e["ts"] for e in data_events]
+    assert timestamps == sorted(timestamps)
+    assert all(ts >= 0 for ts in timestamps)
+    # one pid per node with a metadata record
+    meta = [e for e in parsed["traceEvents"] if e["ph"] == "M"
+            and e["name"] == "process_name"]
+    names = {e["args"]["name"] for e in meta}
+    assert "client0" in names and any(n.startswith("server") for n in names)
+
+
+def test_validate_catches_malformed_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Q"}]}) != []
+    bad_ts = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": -1.0, "dur": 1.0, "pid": 1, "tid": 0},
+    ]}
+    assert validate_chrome_trace(bad_ts) != []
+    out_of_order = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 5.0, "dur": 1.0, "pid": 1, "tid": 0},
+        {"name": "b", "ph": "X", "ts": 1.0, "dur": 1.0, "pid": 1, "tid": 0},
+    ]}
+    assert validate_chrome_trace(out_of_order) != []
+
+
+def test_install_is_idempotent():
+    sim = Simulator()
+    t1, m1 = install(sim)
+    t2, m2 = install(sim)
+    assert t1 is t2 and m1 is m2
+    assert isinstance(t1, Tracer)
