@@ -10,7 +10,7 @@ export PYTHONPATH
 CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
-.PHONY: test chaos bench trace all
+.PHONY: test chaos bench bench-cache trace trace-cache all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -23,6 +23,12 @@ chaos:
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
+# Cache ablation alone: cached-vs-uncached DFuse FPP sweep.
+bench-cache:
+	mkdir -p artifacts
+	$(PY) -m pytest benchmarks/bench_cache.py --benchmark-only \
+		--benchmark-json=artifacts/bench-cache.json
+
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands
 # in artifacts/ (uploaded as a CI artifact; open it at ui.perfetto.dev).
@@ -32,5 +38,14 @@ trace:
 		--trace-out artifacts/fig1-trace.json \
 		--metrics-out artifacts/fig1-metrics.json
 	$(PY) -m repro.obs.validate artifacts/fig1-trace.json
+
+# The same instrumented point with the writeback cache enabled: the
+# trace must validate with the extra "cache" layer spans present.
+trace-cache:
+	mkdir -p artifacts
+	$(PY) benchmarks/run_figures.py --ppn 4 --cache-mode writeback \
+		--trace-out artifacts/fig1-cached-trace.json \
+		--metrics-out artifacts/fig1-cached-metrics.json
+	$(PY) -m repro.obs.validate artifacts/fig1-cached-trace.json
 
 all: test chaos

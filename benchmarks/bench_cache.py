@@ -1,0 +1,43 @@
+"""Client-side cache ablation — cached vs uncached DFuse FPP (fig-1 style).
+
+Series: cache modes {none, readonly, writeback}, IOR file-per-process
+over the POSIX/DFuse interface, bandwidth vs client nodes. The write
+panel carries the subsystem's headline claim: write-behind coalescing
+turns per-transfer dfuse windows into large contiguous DFS writes, so
+writeback must beat pass-through at every node count.
+"""
+
+from conftest import run_once
+
+from repro.bench import cache_fpp_sweep, render_figure
+
+NODE_COUNTS = (1, 4, 8)
+MODES = ("none", "readonly", "writeback")
+
+
+def test_cache_mode_fpp_sweep(benchmark):
+    def sweep():
+        return cache_fpp_sweep(node_counts=NODE_COUNTS, modes=MODES)
+
+    read_fig, write_fig = run_once(benchmark, sweep)
+    print()
+    print(render_figure(read_fig))
+    print()
+    print(render_figure(write_fig))
+
+    for nodes in NODE_COUNTS:
+        base_w = write_fig.series_by_label("none").at(nodes)
+        wb_w = write_fig.series_by_label("writeback").at(nodes)
+        assert wb_w > base_w * 1.2, (nodes, wb_w, base_w)
+
+        base_r = read_fig.series_by_label("none").at(nodes)
+        for mode in ("readonly", "writeback"):
+            # caching never regresses reads (page-cache hits on the IOR
+            # read-back phase at worst break even)
+            assert read_fig.series_by_label(mode).at(nodes) >= base_r * 0.98
+
+    # readonly leaves the write path untouched: pass-through bandwidth
+    for nodes in NODE_COUNTS:
+        ro_w = write_fig.series_by_label("readonly").at(nodes)
+        base_w = write_fig.series_by_label("none").at(nodes)
+        assert abs(ro_w - base_w) / base_w < 0.05

@@ -45,6 +45,10 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="with/instead of --trace-out: write the "
                              "instrumented point's metrics dump")
+    parser.add_argument("--cache-mode",
+                        choices=["none", "readonly", "writeback"],
+                        default="none",
+                        help="client cache mode for the instrumented point")
     args = parser.parse_args(argv)
 
     node_counts = FULL_NODE_COUNTS if args.full else QUICK_NODE_COUNTS
@@ -59,6 +63,7 @@ def main(argv=None) -> int:
             ppn=args.ppn,
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
+            cache_mode=args.cache_mode,
         )
         print(result.summary())
         for path in (args.trace_out, args.metrics_out):

@@ -9,6 +9,7 @@ DESIGN.md §4.
 
 from repro.bench.sweep import Series, SeriesPoint, FigureData
 from repro.bench.figures import (
+    cache_fpp_sweep,
     fig1_fpp,
     fig1_traced_point,
     fig2_shared,
@@ -22,6 +23,7 @@ __all__ = [
     "Series",
     "SeriesPoint",
     "FigureData",
+    "cache_fpp_sweep",
     "fig1_fpp",
     "fig1_traced_point",
     "fig2_shared",

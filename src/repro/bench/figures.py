@@ -117,12 +117,51 @@ def fig2_shared(
     return read_fig, write_fig
 
 
+def cache_fpp_sweep(
+    node_counts: Iterable[int] = (1, 4, 8),
+    modes: Iterable[str] = ("none", "readonly", "writeback"),
+    block_size="4m",
+    ppn: int = 4,
+    api: str = "POSIX",
+) -> Tuple[FigureData, FigureData]:
+    """Fig-1-style FPP sweep over the client cache modes.
+
+    One series per cache mode, DFuse (POSIX api) file-per-process —
+    the workload the caching tier targets. Returns (read, write)
+    FigureData at each client-node count.
+    """
+    read_fig = FigureData("Cache 1a", f"IOR fpp over {api}: read by cache mode",
+                          "client nodes", "bandwidth")
+    write_fig = FigureData("Cache 1b", f"IOR fpp over {api}: write by cache mode",
+                           "client nodes", "bandwidth")
+    for mode in modes:
+        read_series = Series(mode)
+        write_series = Series(mode)
+        for nodes in node_counts:
+            cluster = nextgenio(client_nodes=nodes)
+            params = IorParams(
+                api=api,
+                file_per_proc=True,
+                oclass="SX",
+                block_size=block_size,
+                transfer_size="1m",
+                cache_mode=mode,
+            )
+            result = run_ior(cluster, params, ppn=ppn)
+            read_series.add(nodes, result.max_read_bw)
+            write_series.add(nodes, result.max_write_bw)
+        read_fig.series.append(read_series)
+        write_fig.series.append(write_series)
+    return read_fig, write_fig
+
+
 def fig1_traced_point(
     block_size="16m",
     ppn: int = 16,
     oclass: str = "SX",
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    cache_mode: str = "none",
 ):
     """One instrumented fig-1 point: single client node, DFS
     file-per-process, with tracing + metrics enabled. Writes the Chrome
@@ -139,6 +178,7 @@ def fig1_traced_point(
         oclass=oclass,
         block_size=block_size,
         transfer_size="1m",
+        cache_mode=cache_mode,
     )
     result = run_ior(cluster, params, ppn=ppn)
     if trace_out:

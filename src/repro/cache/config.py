@@ -1,0 +1,101 @@
+"""Cache configuration and the consistency-mode contract.
+
+One :class:`CacheConfig` drives both wiring points of the caching tier
+(DESIGN.md §8): the DFuse mount (data page cache, attr/dentry TTL
+caches) and the DFS file layer (write-behind buffering, read-ahead).
+
+Modes mirror dfuse's caching switches:
+
+``none``
+    Every call passes straight through.  This is the default, and it is
+    *zero-cost*: no cache object is even constructed, so simulated
+    timings are byte-identical to a build without the subsystem
+    (pinned by ``tests/cache/test_cache_determinism.py``).
+``readonly``
+    Data page cache + attr/dentry TTL caches + sequential read-ahead.
+    Writes pass through synchronously (and invalidate overlapping
+    cached extents), like ``dfuse --enable-wb-cache=false``.
+``writeback``
+    Everything in ``readonly`` plus write-behind buffering with
+    dirty-extent coalescing; open-to-close semantics (flush on
+    ``close``/``fsync``/watermark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.units import GiB, KiB, MiB, parse_size
+
+CACHE_MODES = ("none", "readonly", "writeback")
+
+#: Fraction of a client node's DRAM the page-cache tier may use, split
+#: evenly across the processes sharing the node (like the kernel page
+#: cache competing with ppn application processes).
+NODE_MEMORY_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Knobs for one mounted cache instance."""
+
+    #: none | readonly | writeback (the consistency mode, see module doc)
+    mode: str = "none"
+    #: page-cache budget in bytes; 0 = derive from the node's hardware
+    #: model via :meth:`resolve` (NODE_MEMORY_FRACTION of DRAM / ppn)
+    capacity: Union[int, str] = 0
+    #: DRAM copy bandwidth charged for cache hits and buffered writes
+    copy_bw: float = 12e9
+    #: attribute (stat) cache TTL, seconds (dfuse --attr-time)
+    attr_ttl: float = 1.0
+    #: dentry (path -> inode) cache TTL, seconds (dfuse --dentry-time)
+    dentry_ttl: float = 1.0
+    #: per-file dirty bytes that trigger a background-style flush
+    wb_watermark: Union[int, str] = 16 * MiB
+    #: largest single coalesced write issued by a flush
+    wb_max_extent: Union[int, str] = 64 * MiB
+    #: bytes prefetched ahead of a detected sequential stream
+    readahead_window: Union[int, str] = 8 * MiB
+    #: consecutive sequential ops before read-ahead engages
+    readahead_min_run: int = 2
+
+    def __post_init__(self) -> None:
+        if self.mode not in CACHE_MODES:
+            raise ValueError(
+                f"cache mode must be one of {CACHE_MODES}, got {self.mode!r}"
+            )
+        for name in ("capacity", "wb_watermark", "wb_max_extent",
+                     "readahead_window"):
+            object.__setattr__(self, name, parse_size(getattr(self, name)))
+        if self.copy_bw <= 0:
+            raise ValueError("copy_bw must be positive")
+        if self.readahead_min_run < 1:
+            raise ValueError("readahead_min_run must be >= 1")
+
+    # ------------------------------------------------------------- predicates
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "none"
+
+    @property
+    def writeback(self) -> bool:
+        return self.mode == "writeback"
+
+    # ------------------------------------------------------------- sizing
+    def resolve(self, node_spec, ppn: int = 1) -> "CacheConfig":
+        """Fill a zero ``capacity`` from the node's memory model: each of
+        the ``ppn`` processes sharing the node gets an equal slice of
+        the NODE_MEMORY_FRACTION page-cache pool."""
+        if self.capacity:
+            return self
+        budget = int(node_spec.memory * NODE_MEMORY_FRACTION) // max(1, ppn)
+        return replace(
+            self,
+            capacity=max(budget, 64 * KiB),
+            copy_bw=getattr(node_spec, "memory_copy_bw", self.copy_bw),
+        )
+
+    def copy_cost(self, nbytes: int) -> float:
+        """Simulated seconds to memcpy ``nbytes`` (hit service, buffering)."""
+        return nbytes / self.copy_bw

@@ -1,0 +1,237 @@
+"""Byte-extent interval map: the storage primitive under every cache.
+
+An :class:`ExtentMap` keeps non-overlapping ``[start, start+nbytes)``
+extents, each holding a :class:`~repro.daos.vos.payload.Payload`, sorted
+by offset.  Inserts overwrite whatever they overlap (newest data wins)
+and optionally merge with byte-adjacent neighbours — merging is what
+turns a stream of small dirty writes into the large contiguous array
+writes the write-behind flusher issues.
+
+Payloads stay lazy: slicing is O(1) for pattern payloads and merging
+goes through :func:`~repro.daos.vos.payload.concat_payloads`, which
+coalesces adjacent pattern slices without materializing, so caching a
+simulated 64 MiB block costs bookkeeping, not memory.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, List, Optional, Tuple
+
+from repro.daos.vos.payload import Payload, concat_payloads
+
+
+class Extent:
+    """One cached interval. Ordered by start offset."""
+
+    __slots__ = ("start", "payload", "tick")
+
+    def __init__(self, start: int, payload: Payload, tick: int = 0):
+        self.start = start
+        self.payload = payload
+        #: last-use LRU tick (maintained by the page cache)
+        self.tick = tick
+
+    @property
+    def nbytes(self) -> int:
+        return self.payload.nbytes
+
+    @property
+    def end(self) -> int:
+        return self.start + self.payload.nbytes
+
+    def __lt__(self, other: "Extent") -> bool:
+        return self.start < other.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Extent[{self.start}, {self.end})"
+
+
+class ExtentMap:
+    """Sorted, non-overlapping extents with overwrite/merge semantics."""
+
+    def __init__(self) -> None:
+        self._extents: List[Extent] = []
+        self.total_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        return iter(self._extents)
+
+    # ------------------------------------------------------------- mutation
+    def insert(self, start: int, payload: Payload,
+               merge: bool = False, tick: int = 0) -> Extent:
+        """Insert ``payload`` at ``start``; newest data wins on overlap.
+
+        With ``merge=True`` byte-adjacent neighbours are coalesced into
+        one extent (write-behind).  Returns the stored extent.
+        """
+        if payload.nbytes == 0:
+            raise ValueError("cannot insert an empty extent")
+        self.remove_range(start, payload.nbytes)
+        ext = Extent(start, payload, tick)
+        if merge:
+            # swallow a left neighbour ending exactly at start...
+            idx = bisect_left(self._extents, ext)
+            if idx > 0 and self._extents[idx - 1].end == start:
+                left = self._extents.pop(idx - 1)
+                ext = Extent(
+                    left.start,
+                    concat_payloads([left.payload, payload]),
+                    max(left.tick, tick),
+                )
+            # ...and a right neighbour starting exactly at our end.
+            idx = bisect_left(self._extents, ext)
+            if idx < len(self._extents) and self._extents[idx].start == ext.end:
+                right = self._extents.pop(idx)
+                ext = Extent(
+                    ext.start,
+                    concat_payloads([ext.payload, right.payload]),
+                    max(ext.tick, right.tick),
+                )
+        insort(self._extents, ext)
+        self.total_bytes += payload.nbytes
+        return ext
+
+    def remove_range(self, start: int, nbytes: int) -> int:
+        """Drop [start, start+nbytes) from the map, trimming extents that
+        straddle the boundary. Returns bytes removed."""
+        if nbytes <= 0 or not self._extents:
+            return 0
+        stop = start + nbytes
+        removed = 0
+        keep: List[Extent] = []
+        lo = self._first_overlapping(start)
+        idx = lo
+        while idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.start >= stop:
+                break
+            overlap_lo = max(ext.start, start)
+            overlap_hi = min(ext.end, stop)
+            removed += overlap_hi - overlap_lo
+            if ext.start < start:
+                keep.append(Extent(
+                    ext.start,
+                    ext.payload.slice(0, start - ext.start),
+                    ext.tick,
+                ))
+            if ext.end > stop:
+                keep.append(Extent(
+                    stop,
+                    ext.payload.slice(stop - ext.start, ext.nbytes),
+                    ext.tick,
+                ))
+            idx += 1
+        if removed or idx > lo:
+            del self._extents[lo:idx]
+            for ext in keep:
+                insort(self._extents, ext)
+            self.total_bytes -= removed
+        return removed
+
+    def remove(self, ext: Extent) -> bool:
+        """Drop one extent object (used by LRU eviction)."""
+        idx = bisect_left(self._extents, Extent(ext.start, ext.payload))
+        while idx < len(self._extents) and self._extents[idx].start == ext.start:
+            if self._extents[idx] is ext:
+                del self._extents[idx]
+                self.total_bytes -= ext.nbytes
+                return True
+            idx += 1
+        return False
+
+    def clear(self) -> int:
+        dropped = self.total_bytes
+        self._extents.clear()
+        self.total_bytes = 0
+        return dropped
+
+    def pop_first_run(self, max_bytes: int) -> Optional[Tuple[int, Payload]]:
+        """Pop the lowest-offset contiguous run of extents (flush unit),
+        capped at ``max_bytes``. Returns (offset, payload) or None."""
+        if not self._extents:
+            return None
+        parts: List[Payload] = []
+        first = self._extents[0]
+        start = first.start
+        cursor = start
+        taken = 0
+        while self._extents and taken < max_bytes:
+            ext = self._extents[0]
+            if ext.start != cursor:
+                break
+            room = max_bytes - taken
+            if ext.nbytes <= room:
+                self._extents.pop(0)
+                parts.append(ext.payload)
+            else:
+                parts.append(ext.payload.slice(0, room))
+                ext.payload = ext.payload.slice(room, ext.nbytes)
+                ext.start += room
+            took = parts[-1].nbytes
+            taken += took
+            cursor += took
+        self.total_bytes -= taken
+        return start, concat_payloads(parts)
+
+    # ------------------------------------------------------------- queries
+    def _first_overlapping(self, start: int) -> int:
+        """Index of the first extent whose end is > start."""
+        lo = bisect_right(self._extents, Extent(start, _PROBE)) - 1
+        if lo >= 0 and self._extents[lo].end > start:
+            return lo
+        return lo + 1
+
+    def lookup(self, start: int, nbytes: int
+               ) -> List[Tuple[int, int, Optional[Extent]]]:
+        """Cover [start, start+nbytes) with cached segments and holes.
+
+        Returns ``[(seg_start, seg_len, extent_or_None), ...]`` in offset
+        order; ``None`` marks a hole the caller must fetch from below.
+        Use ``ext.payload.slice(seg_start - ext.start, ...)`` for data.
+        """
+        out: List[Tuple[int, int, Optional[Extent]]] = []
+        if nbytes <= 0:
+            return out
+        stop = start + nbytes
+        cursor = start
+        idx = self._first_overlapping(start)
+        while cursor < stop and idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.start >= stop:
+                break
+            if ext.start > cursor:
+                out.append((cursor, ext.start - cursor, None))
+                cursor = ext.start
+            seg_stop = min(ext.end, stop)
+            out.append((cursor, seg_stop - cursor, ext))
+            cursor = seg_stop
+            idx += 1
+        if cursor < stop:
+            out.append((cursor, stop - cursor, None))
+        return out
+
+    def cached_bytes_in(self, start: int, nbytes: int) -> int:
+        return sum(
+            n for _s, n, ext in self.lookup(start, nbytes) if ext is not None
+        )
+
+    def spans(self) -> List[Tuple[int, int]]:
+        """[(offset, nbytes), ...] of every extent, in offset order."""
+        return [(e.start, e.nbytes) for e in self._extents]
+
+
+class _Probe(Payload):
+    """Zero-length payload used only for bisect probes."""
+
+    __slots__ = ()
+
+    @property
+    def nbytes(self) -> int:
+        return 0
+
+
+_PROBE = _Probe()

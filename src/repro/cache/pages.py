@@ -1,0 +1,168 @@
+"""Extent-granular data page cache with LRU eviction under a budget.
+
+One :class:`PageCache` serves a whole mount (all files share the
+node-derived memory budget).  Extents keep their identity from insert to
+eviction: an LRU ring keyed by a monotonic extent id orders them by last
+use, and going over budget evicts whole least-recently-used extents
+until the cache fits — all deterministic (no clocks, no randomness), so
+cached runs replay exactly.
+
+Consistency is epoch-based: every file carries an epoch (bumped by
+truncate/unlink/overwrite-through-another-path, see
+:class:`repro.dfs.file.SharedFileState`); a lookup presenting a newer
+epoch than the cached one drops the file's extents first, which is the
+"invalidation on size/epoch change" rule of the DESIGN.md §8
+consistency model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.cache.extents import Extent, ExtentMap
+from repro.daos.vos.payload import Payload
+
+
+class _FileView:
+    __slots__ = ("extents", "epoch")
+
+    def __init__(self, epoch: int):
+        self.extents = ExtentMap()
+        self.epoch = epoch
+
+
+class PageCache:
+    """Shared per-mount data cache: file key -> extent map, global LRU."""
+
+    def __init__(self, capacity: int, sim=None,
+                 metrics_prefix: str = "cache.page"):
+        if capacity <= 0:
+            raise ValueError("page cache capacity must be positive")
+        self.capacity = capacity
+        self.sim = sim
+        self.prefix = metrics_prefix
+        self._files: Dict[Hashable, _FileView] = {}
+        #: extent id -> (file key, extent), in LRU order (oldest first)
+        self._lru: "OrderedDict[int, Tuple[Hashable, Extent]]" = OrderedDict()
+        self._next_id = 1
+        self.used_bytes = 0
+
+    # ------------------------------------------------------------- metrics
+    def _incr(self, name: str, amount: float = 1.0) -> None:
+        metrics = self.sim.metrics if self.sim is not None else None
+        if metrics is not None:
+            metrics.incr(f"{self.prefix}.{name}", amount)
+
+    # ------------------------------------------------------------- epochs
+    def _view(self, key: Hashable, epoch: int) -> _FileView:
+        view = self._files.get(key)
+        if view is None:
+            view = self._files[key] = _FileView(epoch)
+        elif view.epoch != epoch:
+            self._drop_view(key, view)
+            view = self._files[key] = _FileView(epoch)
+            self._incr("epoch_invalidations")
+        return view
+
+    def _drop_view(self, key: Hashable, view: _FileView) -> None:
+        self.used_bytes -= view.extents.total_bytes
+        dead = [eid for eid, (k, _e) in self._lru.items() if k == key]
+        for eid in dead:
+            del self._lru[eid]
+        del self._files[key]
+
+    def invalidate_file(self, key: Hashable) -> None:
+        view = self._files.get(key)
+        if view is not None:
+            self._drop_view(key, view)
+
+    def invalidate_range(self, key: Hashable, start: int, nbytes: int) -> None:
+        """Drop cached data overlapping a write-through (readonly mode)."""
+        view = self._files.get(key)
+        if view is None:
+            return
+        before = view.extents.total_bytes
+        view.extents.remove_range(start, nbytes)
+        self.used_bytes -= before - view.extents.total_bytes
+        # trimmed extents keep their LRU slots; fully-removed ones are
+        # collected lazily when the LRU ring meets a stale entry
+        self._prune_stale(key, view)
+
+    def _prune_stale(self, key: Hashable, view: _FileView) -> None:
+        live = set(map(id, view.extents))
+        dead = [
+            eid for eid, (k, ext) in self._lru.items()
+            if k == key and id(ext) not in live
+        ]
+        for eid in dead:
+            del self._lru[eid]
+
+    # ------------------------------------------------------------- access
+    def lookup(self, key: Hashable, epoch: int, start: int, nbytes: int
+               ) -> List[Tuple[int, int, Optional[Payload]]]:
+        """Cover [start, start+nbytes): ``(seg_start, len, payload|None)``.
+
+        Hits touch the LRU ring; holes come back as ``None`` for the
+        caller to read through and :meth:`insert`.
+        """
+        view = self._view(key, epoch)
+        out: List[Tuple[int, int, Optional[Payload]]] = []
+        hit = miss = 0
+        for seg_start, seg_len, ext in view.extents.lookup(start, nbytes):
+            if ext is None:
+                out.append((seg_start, seg_len, None))
+                miss += seg_len
+            else:
+                rel = seg_start - ext.start
+                out.append((seg_start, seg_len,
+                            ext.payload.slice(rel, rel + seg_len)))
+                hit += seg_len
+                self._touch(ext)
+        if hit:
+            self._incr("hits")
+            self._incr("hit_bytes", hit)
+        if miss:
+            self._incr("misses")
+            self._incr("miss_bytes", miss)
+        return out
+
+    def insert(self, key: Hashable, epoch: int, start: int,
+               payload: Payload) -> None:
+        """Cache ``payload`` at ``start``; evicts LRU extents to fit.
+
+        Payloads larger than the whole budget are trimmed to the budget's
+        tail-end (matching a streaming read's most-recently-seen bytes).
+        """
+        if payload.nbytes == 0:
+            return
+        if payload.nbytes > self.capacity:
+            skip = payload.nbytes - self.capacity
+            start += skip
+            payload = payload.slice(skip, payload.nbytes)
+        view = self._view(key, epoch)
+        before = view.extents.total_bytes
+        ext = view.extents.insert(start, payload)
+        self.used_bytes += view.extents.total_bytes - before
+        self._prune_stale(key, view)
+        eid = self._next_id
+        self._next_id += 1
+        self._lru[eid] = (key, ext)
+        self._evict_to_fit()
+
+    def _touch(self, ext: Extent) -> None:
+        for eid, (_k, cand) in reversed(self._lru.items()):
+            if cand is ext:
+                self._lru.move_to_end(eid)
+                return
+
+    def _evict_to_fit(self) -> None:
+        while self.used_bytes > self.capacity and self._lru:
+            _eid, (key, ext) = self._lru.popitem(last=False)
+            view = self._files.get(key)
+            if view is None:
+                continue
+            if view.extents.remove(ext):
+                self.used_bytes -= ext.nbytes
+                self._incr("evictions")
+                self._incr("evicted_bytes", ext.nbytes)

@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.errors import DerDataLoss
+from repro.errors import DerDataLoss, DerTimedOut
 from repro.network.flows import Flow
 
 
@@ -110,6 +110,18 @@ class IoStream:
         rtt = 2.0 * (fabric.base_latency + 2 * fabric.software_overhead)
         write = self.direction == "write"
         pool, cont, oid = context
+
+        # Bulk I/O is RPC-carried: a crashed engine answers nothing, so
+        # the op burns the caller's RPC timeout and fails — same contract
+        # as the control-plane RpcServer unavailability path.
+        for piece in pieces:
+            engine = self.system.target(piece.tid).engine
+            if not engine.up:
+                yield rtt + engine.server.unavailable_delay
+                raise DerTimedOut(
+                    f"{self.direction} to target {piece.tid}: "
+                    f"{engine.name} is down"
+                )
 
         overhead = node_spec.client_cpu_per_op
         widest = 0.0

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
+from repro.cache.attrs import TtlCache
+from repro.cache.config import CacheConfig
 from repro.daos.client import ContainerHandle
 from repro.daos.object import ObjectHandle
 from repro.daos.oclass import S1, oclass_by_name
-from repro.dfs.file import DfsFile
+from repro.dfs.file import DfsFile, SharedFileState
 from repro.dfs.layout import (
     DFS_MAGIC,
     ENTRY_AKEY,
@@ -39,19 +41,45 @@ from repro.units import MiB
 class Dfs:
     """A mounted DAOS File System."""
 
-    def __init__(self, cont: ContainerHandle):
+    def __init__(self, cont: ContainerHandle,
+                 cache: Optional[CacheConfig] = None):
         self.cont = cont
         self.client = cont.client
         self._sb_obj: Optional[ObjectHandle] = None
         self._root: Optional[ObjectHandle] = None
         self.default_chunk = cont.chunk_size
         self.default_oclass = cont.props.get("oclass", "SX")
+        #: caching tier config; None (the default ``none`` mode) keeps
+        #: every path below byte-identical to the uncached build
+        self.cache: Optional[CacheConfig] = (
+            cache if cache is not None and cache.enabled else None
+        )
+        #: (oid_hi, oid_lo) -> SharedFileState; always on — it is the
+        #: cross-handle size-staleness fix, not a cache feature
+        self._file_states: dict = {}
+        self._dentry: Optional[TtlCache] = (
+            TtlCache(self.client.sim, self.cache.dentry_ttl, "cache.dentry")
+            if self.cache is not None else None
+        )
+
+    def file_state(self, entry: InodeEntry) -> SharedFileState:
+        """Shared per-file state for every handle on this mount."""
+        key = (entry.oid_hi, entry.oid_lo)
+        state = self._file_states.get(key)
+        if state is None:
+            state = self._file_states[key] = SharedFileState()
+        return state
+
+    @staticmethod
+    def _canon(parts: List[str]) -> str:
+        return "/" + "/".join(parts)
 
     # ------------------------------------------------------------- mount
     @classmethod
-    def mount(cls, cont: ContainerHandle) -> Generator:
+    def mount(cls, cont: ContainerHandle,
+              cache: Optional[CacheConfig] = None) -> Generator:
         """Task helper: mount (formatting on first use)."""
-        dfs = cls(cont)
+        dfs = cls(cont, cache=cache)
         dfs._sb_obj = cont.open_object(superblock_oid())
         dfs._root = cont.open_object(root_oid())
         try:
@@ -122,12 +150,20 @@ class Dfs:
             dir_obj.close()
 
     def lookup(self, path: str) -> Generator:
-        """Task helper: path → :class:`InodeEntry` (raises if missing)."""
+        """Task helper: path → :class:`InodeEntry` (raises if missing).
+
+        With the caching tier enabled, a fresh dentry-cache entry skips
+        the per-component walk entirely (dfuse ``--dentry-time``)."""
         parts = normalize(path)
         if not parts:
             return InodeEntry(
                 "dir", root_oid().hi, root_oid().lo, self.default_chunk, "S1"
             )
+        key = self._canon(parts)
+        if self._dentry is not None:
+            cached = self._dentry.get(key)
+            if cached is not None:
+                return cached
         dir_obj = yield from self._lookup_dir(parts[:-1])
         try:
             record = yield from self._entry_get(dir_obj, parts[-1])
@@ -135,7 +171,10 @@ class Dfs:
             self._release_dir(dir_obj)
         if record is None:
             raise DerNonexist(path)
-        return InodeEntry.from_record(record)
+        entry = InodeEntry.from_record(record)
+        if self._dentry is not None:
+            self._dentry.put(key, entry)
+        return entry
 
     # ------------------------------------------------------------- files
     def open_file(
@@ -149,6 +188,16 @@ class Dfs:
     ) -> Generator:
         """Task helper: open (optionally create/truncate) a regular file."""
         parents, name = self._split(path)
+        key = self._canon(parents + [name])
+        if self._dentry is not None and not create:
+            cached = self._dentry.get(key)
+            if cached is not None and not cached.is_dir:
+                handle = DfsFile(
+                    self, cached, self.cont.open_object(cached.oid), path=key
+                )
+                if trunc:
+                    yield from handle.truncate(0)
+                return handle
         dir_obj = yield from self._lookup_dir(parents)
         try:
             record = yield from self._entry_get(dir_obj, name)
@@ -177,7 +226,10 @@ class Dfs:
                     raise DerExist(path)
         finally:
             self._release_dir(dir_obj)
-        handle = DfsFile(self, entry, self.cont.open_object(entry.oid))
+        if self._dentry is not None:
+            self._dentry.put(key, entry)
+        handle = DfsFile(self, entry, self.cont.open_object(entry.oid),
+                         path=key)
         if trunc and record is not None:
             yield from handle.truncate(0)
         return handle
@@ -205,6 +257,8 @@ class Dfs:
             )
         finally:
             self._release_dir(dir_obj)
+        if self._dentry is not None:
+            self._dentry.put(self._canon(parents + [name]), entry)
         return entry
 
     def readdir(self, path: str) -> Generator:
@@ -243,6 +297,13 @@ class Dfs:
             yield from dir_obj.punch_dkey(name.encode("utf-8"))
         finally:
             self._release_dir(dir_obj)
+        if self._dentry is not None:
+            self._dentry.invalidate(self._canon(parents + [name]))
+        # a new file at this path gets fresh shared state; surviving
+        # handles see the epoch bump and drop their cached size/data
+        state = self._file_states.pop((entry.oid_hi, entry.oid_lo), None)
+        if state is not None:
+            state.epoch += 1
         obj = self.cont.open_object(entry.oid)
         try:
             yield from obj.punch_object()
@@ -271,6 +332,8 @@ class Dfs:
             yield from dir_obj.punch_dkey(name.encode("utf-8"))
         finally:
             self._release_dir(dir_obj)
+        if self._dentry is not None:
+            self._dentry.invalidate_prefix(self._canon(parents + [name]))
         return True
 
     def rename(self, old: str, new: str) -> Generator:
@@ -295,4 +358,7 @@ class Dfs:
             yield from src_dir.punch_dkey(old_name.encode("utf-8"))
         finally:
             self._release_dir(src_dir)
+        if self._dentry is not None:
+            self._dentry.invalidate_prefix(self._canon(old_parents + [old_name]))
+            self._dentry.invalidate_prefix(self._canon(new_parents + [new_name]))
         return True

@@ -113,6 +113,32 @@ class DerDataLoss(DaosError):
     code = "DER_DATA_LOSS"
 
 
+class CacheWritebackError(ReproError):
+    """Unflushed write-behind data could not be committed to the store.
+
+    Raised by ``fsync``/``close`` on a cached file when a flush fails
+    (e.g. the serving engine crashed mid-outage): the caller learns
+    exactly which byte ranges are still pending instead of silently
+    losing them. The buffer keeps the data, so a later ``fsync`` after
+    recovery retries the flush.
+    """
+
+    def __init__(self, path: str, pending: list, cause: Exception):
+        lost = sum(n for _off, n in pending)
+        super().__init__(
+            f"{path}: {lost} dirty bytes in {len(pending)} extent(s) "
+            f"not flushed ({cause})"
+        )
+        #: file the data belongs to
+        self.path = path
+        #: [(offset, nbytes), ...] of the still-dirty extents
+        self.pending = list(pending)
+        #: total unflushed bytes
+        self.lost_bytes = lost
+        #: the underlying storage error that failed the flush
+        self.cause = cause
+
+
 class FsError(ReproError):
     """POSIX-layer error with an errno-style symbolic code."""
 

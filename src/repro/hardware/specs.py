@@ -104,6 +104,11 @@ class NodeSpec:
     engine: EngineSpec = field(default_factory=EngineSpec)
     #: client-side per-syscall/API-call CPU cost floor
     client_cpu_per_op: float = 4e-6
+    #: node DRAM (NEXTGenIO: 192 GiB DDR4 per node); budgets the
+    #: client-side caching tier (repro.cache)
+    memory: int = 192 * GiB
+    #: DRAM copy bandwidth seen by a single process (memcpy, one core)
+    memory_copy_bw: float = 12e9
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,9 @@ class DfsBackend(Backend):
         return None
 
     def close(self, handle) -> Generator:
+        # drain write-behind data first; close() surfaces the typed
+        # error if the flush could not commit everything
+        yield from handle.flush()
         handle.close()
         yield 0.0
         return None

@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--servers", type=int, default=8)
     parser.add_argument("--lustre", action="store_true",
                         help="run against the Lustre baseline instead")
+    parser.add_argument("--cache-mode", choices=("none", "readonly",
+                                                 "writeback"),
+                        default="none",
+                        help="client-side caching tier (DAOS only): data "
+                             "page cache + attr/dentry TTLs (readonly), "
+                             "plus write-behind aggregation (writeback)")
     parser.add_argument("--seed", type=int, default=0xDA05)
     # observability
     parser.add_argument("--trace-out", metavar="PATH",
@@ -86,6 +92,7 @@ def params_from_args(args) -> IorParams:
         repetitions=args.repetitions,
         oclass=options.get("oclass"),
         chunk_size=options.get("chunk_size", "1m"),
+        cache_mode=getattr(args, "cache_mode", "none"),
     )
 
 
@@ -98,6 +105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.lustre:
         if params.api in ("DFS", "DAOS"):
             raise SystemExit(f"api {params.api} requires DAOS (drop --lustre)")
+        if params.cache_mode != "none":
+            raise SystemExit("--cache-mode applies to the DAOS stack only")
         from repro.cluster import build_lustre_cluster
 
         cluster = build_lustre_cluster(

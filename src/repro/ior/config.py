@@ -46,10 +46,18 @@ class IorParams:
     chunk_size: Union[int, str] = MiB
     #: working directory inside the filesystem under test
     test_dir: str = "/ior"
+    #: client-side caching tier: none | readonly | writeback
+    #: (dfuse --enable-caching / --enable-wb-cache analogue)
+    cache_mode: str = "none"
 
     def __post_init__(self) -> None:
         if self.api not in APIS:
             raise ValueError(f"api must be one of {APIS}, got {self.api!r}")
+        if self.cache_mode not in ("none", "readonly", "writeback"):
+            raise ValueError(
+                "cache_mode must be none, readonly or writeback, "
+                f"got {self.cache_mode!r}"
+            )
         self.block_size = parse_size(self.block_size)
         self.transfer_size = parse_size(self.transfer_size)
         self.chunk_size = parse_size(self.chunk_size)
@@ -120,4 +128,6 @@ class IorParams:
             parts.append("-r")
         if self.verify:
             parts.append("-R")
+        if self.cache_mode != "none":
+            parts.append(f"--cache-mode {self.cache_mode}")
         return " ".join(parts)

@@ -6,6 +6,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from repro.cache.config import CacheConfig
 from repro.cluster.builder import Cluster, LustreCluster
 from repro.dfs import Dfs
 from repro.dfuse import DFuseMount
@@ -52,8 +53,17 @@ class DaosIorEnv:
         client = self.cluster.new_client(node_index)
         pool = yield from client.connect_pool(self.cluster.pool.label)
         cont = yield from pool.open_container(self.label)
-        dfs = yield from Dfs.mount(cont)
-        return RankStorage(mount=DFuseMount(dfs), dfs=dfs, cont=cont)
+        cache = None
+        if self.params.cache_mode != "none":
+            # each of the node's ppn ranks gets an equal slice of the
+            # node-level page-cache budget
+            cache = CacheConfig(mode=self.params.cache_mode).resolve(
+                ctx.node.spec, ctx.world.ppn
+            )
+        dfs = yield from Dfs.mount(cont, cache=cache)
+        return RankStorage(
+            mount=DFuseMount(dfs, cache=cache), dfs=dfs, cont=cont
+        )
 
 
 class LustreIorEnv:

@@ -18,6 +18,7 @@ from repro.obs.tracer import Tracer
 LAYER_ORDER = [
     "ior",
     "dfuse",
+    "cache",
     "mpiio",
     "hdf5",
     "dfs",

@@ -1,0 +1,126 @@
+"""PageCache: LRU under a byte budget, epoch invalidation, metrics."""
+
+import pytest
+
+from repro.cache.pages import PageCache
+from repro.daos.vos.payload import PatternPayload
+
+
+class FakeMetrics:
+    def __init__(self):
+        self.counters = {}
+
+    def incr(self, name, amount=1.0):
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+
+class FakeSim:
+    def __init__(self):
+        self.metrics = FakeMetrics()
+
+
+def pat(origin, nbytes, seed=3):
+    return PatternPayload(seed, origin, nbytes)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        PageCache(0)
+
+
+def test_miss_then_hit():
+    sim = FakeSim()
+    cache = PageCache(1000, sim)
+    assert [seg for seg in cache.lookup("f", 0, 0, 100)] == [(0, 100, None)]
+    cache.insert("f", 0, 0, pat(0, 100))
+    cover = cache.lookup("f", 0, 0, 100)
+    assert len(cover) == 1
+    assert cover[0][2].materialize() == pat(0, 100).materialize()
+    c = sim.metrics.counters
+    assert c["cache.page.miss_bytes"] == 100
+    assert c["cache.page.hit_bytes"] == 100
+
+
+def test_partial_hit_returns_holes():
+    cache = PageCache(1000)
+    cache.insert("f", 0, 50, pat(50, 50))
+    cover = cache.lookup("f", 0, 0, 150)
+    shape = [(s, n, p is None) for s, n, p in cover]
+    assert shape == [(0, 50, True), (50, 50, False), (100, 50, True)]
+
+
+def test_lru_evicts_oldest_first():
+    sim = FakeSim()
+    cache = PageCache(300, sim)
+    cache.insert("f", 0, 0, pat(0, 100))
+    cache.insert("f", 0, 100, pat(100, 100))
+    cache.insert("f", 0, 200, pat(200, 100))
+    assert cache.used_bytes == 300
+    # touch the oldest extent so the middle one becomes LRU
+    cache.lookup("f", 0, 0, 100)
+    cache.insert("f", 0, 300, pat(300, 100))
+    assert cache.used_bytes == 300
+    assert sim.metrics.counters["cache.page.evictions"] == 1
+    # [100,200) was evicted; [0,100) survived its touch
+    assert cache.lookup("f", 0, 100, 100)[0][2] is None
+    assert cache.lookup("f", 0, 0, 100)[0][2] is not None
+
+
+def test_eviction_spans_files():
+    cache = PageCache(200)
+    cache.insert("a", 0, 0, pat(0, 100))
+    cache.insert("b", 0, 0, pat(0, 100, seed=9))
+    cache.insert("c", 0, 0, pat(0, 100, seed=11))
+    assert cache.used_bytes == 200
+    assert cache.lookup("a", 0, 0, 100)[0][2] is None  # oldest, evicted
+    assert cache.lookup("b", 0, 0, 100)[0][2] is not None
+
+
+def test_oversized_insert_keeps_budget_tail():
+    cache = PageCache(100)
+    cache.insert("f", 0, 0, pat(0, 250))
+    assert cache.used_bytes == 100
+    # the most recent bytes of the stream survive
+    cover = cache.lookup("f", 0, 150, 100)
+    assert cover[0][2].materialize() == pat(150, 100).materialize()
+    assert cache.lookup("f", 0, 0, 150)[0][2] is None
+
+
+def test_epoch_bump_invalidates_file():
+    sim = FakeSim()
+    cache = PageCache(1000, sim)
+    cache.insert("f", 0, 0, pat(0, 100))
+    cache.insert("g", 0, 0, pat(0, 100))
+    assert cache.lookup("f", 1, 0, 100)[0][2] is None  # stale epoch dropped
+    assert cache.used_bytes == 100  # g untouched
+    assert sim.metrics.counters["cache.page.epoch_invalidations"] == 1
+    # data cached under the new epoch serves normally
+    cache.insert("f", 1, 0, pat(0, 100, seed=5))
+    assert cache.lookup("f", 1, 0, 100)[0][2] is not None
+
+
+def test_invalidate_file_and_range():
+    cache = PageCache(1000)
+    cache.insert("f", 0, 0, pat(0, 100))
+    cache.invalidate_range("f", 25, 50)
+    cover = cache.lookup("f", 0, 0, 100)
+    shape = [(s, n, p is None) for s, n, p in cover]
+    assert shape == [(0, 25, False), (25, 50, True), (75, 25, False)]
+    assert cache.used_bytes == 50
+    cache.invalidate_file("f")
+    assert cache.used_bytes == 0
+    assert cache.lookup("f", 0, 0, 100)[0][2] is None
+
+
+def test_overwrite_insert_accounting_stays_consistent():
+    cache = PageCache(1000)
+    cache.insert("f", 0, 0, pat(0, 100))
+    cache.insert("f", 0, 50, pat(50, 100, seed=8))  # overlaps the first
+    assert cache.used_bytes == 150
+    got = b"".join(
+        p.materialize() for _s, _n, p in cache.lookup("f", 0, 0, 150)
+    )
+    expected = (
+        pat(0, 50).materialize() + pat(50, 100, seed=8).materialize()
+    )
+    assert got == expected
