@@ -10,7 +10,7 @@ export PYTHONPATH
 CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
-.PHONY: test chaos bench bench-cache trace trace-cache all
+.PHONY: test chaos bench bench-cache bench-rebuild trace trace-cache all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -28,6 +28,13 @@ bench-cache:
 	mkdir -p artifacts
 	$(PY) -m pytest benchmarks/bench_cache.py --benchmark-only \
 		--benchmark-json=artifacts/bench-cache.json
+
+# Rebuild ablation alone: IOR FPP during rebuild vs healthy, swept
+# over the rebuild throttle fraction.
+bench-rebuild:
+	mkdir -p artifacts
+	$(PY) -m pytest benchmarks/bench_rebuild.py --benchmark-only \
+		--benchmark-json=artifacts/bench-rebuild.json
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

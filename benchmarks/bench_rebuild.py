@@ -1,0 +1,45 @@
+"""Rebuild impact on foreground I/O — IOR FPP during rebuild vs healthy.
+
+Series: a healthy baseline vs the same IOR run racing a 128 MiB resync,
+swept over the rebuild throttle fraction. The subsystem's headline
+claim: the throttle bounds what rebuild traffic may take from
+foreground I/O — at small fractions the rebuild is invisible, with the
+throttle disabled it visibly dents write bandwidth.
+"""
+
+from conftest import run_once
+
+from repro.bench import rebuild_fpp_sweep, render_figure
+
+FRACTIONS = (0.05, 0.25, 1.0)
+
+
+def test_rebuild_throttle_fpp_sweep(benchmark):
+    def sweep():
+        return rebuild_fpp_sweep(fractions=FRACTIONS)
+
+    read_fig, write_fig = run_once(benchmark, sweep)
+    print()
+    print(render_figure(read_fig))
+    print()
+    print(render_figure(write_fig))
+
+    healthy_w = write_fig.series_by_label("healthy")
+    rebuild_w = write_fig.series_by_label("during rebuild")
+    healthy_r = read_fig.series_by_label("healthy")
+    rebuild_r = read_fig.series_by_label("during rebuild")
+
+    # the healthy baseline is one number, independent of the x value
+    assert len({healthy_w.at(f) for f in FRACTIONS}) == 1
+
+    # a tight throttle makes the rebuild invisible to foreground writes
+    assert rebuild_w.at(0.05) >= healthy_w.at(0.05) * 0.95
+    # an unthrottled rebuild visibly competes for the same links
+    assert rebuild_w.at(1.0) < healthy_w.at(1.0) * 0.9
+    # more throttle never means less foreground bandwidth
+    assert rebuild_w.at(0.05) >= rebuild_w.at(1.0)
+
+    # reads ride on the surviving replica and the client NIC; the
+    # rebuild must not collapse them at any fraction
+    for fraction in FRACTIONS:
+        assert rebuild_r.at(fraction) >= healthy_r.at(fraction) * 0.9

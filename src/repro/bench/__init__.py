@@ -10,6 +10,7 @@ DESIGN.md §4.
 from repro.bench.sweep import Series, SeriesPoint, FigureData
 from repro.bench.figures import (
     cache_fpp_sweep,
+    rebuild_fpp_sweep,
     fig1_fpp,
     fig1_traced_point,
     fig2_shared,
@@ -24,6 +25,7 @@ __all__ = [
     "SeriesPoint",
     "FigureData",
     "cache_fpp_sweep",
+    "rebuild_fpp_sweep",
     "fig1_fpp",
     "fig1_traced_point",
     "fig2_shared",

@@ -155,6 +155,97 @@ def cache_fpp_sweep(
     return read_fig, write_fig
 
 
+def _open_rebuild_window(cluster, window_bytes: int) -> int:
+    """Exclude one replica target, write ``window_bytes`` it misses and
+    reintegrate — returning with the background resync still draining, so
+    the caller's workload races real rebuild traffic."""
+    from repro.daos.oclass import RP_2G1
+    from repro.daos.vos.payload import PatternPayload
+    from repro.units import MiB
+
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("rebuild-window",
+                                                oclass="RP_2G1")
+        oid = yield from cont.alloc_oid(RP_2G1)
+        obj = cont.open_object(oid)
+        victim = obj.layout.targets_for_dkey(0)[0]
+        uuid = pool.pool_map.uuid
+        yield from cluster.daos.exclude_target(uuid, victim)
+        yield from pool.refresh_map()
+        yield from obj.write(
+            0, PatternPayload(seed=8, origin=0, nbytes=window_bytes),
+            chunk_size=MiB,
+        )
+        yield from cluster.daos.reintegrate_target(uuid, victim)
+        obj.close()
+        return victim
+
+    return cluster.run(go())
+
+
+def rebuild_fpp_sweep(
+    fractions: Iterable[float] = (0.05, 0.25, 1.0),
+    nodes: int = 2,
+    window="128m",
+    block_size="4m",
+    ppn: int = 4,
+    api: str = "POSIX",
+    oclass: str = "RP_2GX",
+) -> Tuple[FigureData, FigureData]:
+    """IOR FPP bandwidth while a rebuild drains, by throttle fraction.
+
+    Each "during rebuild" point boots a fresh cluster, opens a
+    ``window``-sized exclusion window on one replica target,
+    reintegrates, and runs IOR while the resync migrates the window —
+    so foreground I/O and rebuild traffic compete for the same media
+    and fabric links under the given throttle fraction. The "healthy"
+    series is the no-fault baseline, identical at every x (and, by the
+    zero-cost-when-healthy invariant, identical to the seed figures).
+
+    The foreground files are replicated (``RP_2GX``): chunks written to
+    the still-REBUILDING target must stay readable through the other
+    replica, which an unreplicated class cannot provide mid-rebuild.
+    Returns (read, write) FigureData.
+    """
+    from repro.units import parse_size
+
+    read_fig = FigureData(
+        "Rebuild 1a", f"IOR fpp over {api}: read during rebuild",
+        "rebuild throttle fraction", "bandwidth",
+    )
+    write_fig = FigureData(
+        "Rebuild 1b", f"IOR fpp over {api}: write during rebuild",
+        "rebuild throttle fraction", "bandwidth",
+    )
+    params = IorParams(
+        api=api,
+        file_per_proc=True,
+        oclass=oclass,
+        block_size=block_size,
+        transfer_size="1m",
+    )
+    healthy = run_ior(nextgenio(client_nodes=nodes), params, ppn=ppn)
+    window_bytes = parse_size(window)
+    healthy_read, healthy_write = Series("healthy"), Series("healthy")
+    rebuild_read = Series("during rebuild")
+    rebuild_write = Series("during rebuild")
+    for fraction in fractions:
+        cluster = nextgenio(client_nodes=nodes)
+        cluster.daos.rebuild.throttle.fraction = fraction
+        _open_rebuild_window(cluster, window_bytes)
+        result = run_ior(cluster, params, ppn=ppn)
+        healthy_read.add(fraction, healthy.max_read_bw)
+        healthy_write.add(fraction, healthy.max_write_bw)
+        rebuild_read.add(fraction, result.max_read_bw)
+        rebuild_write.add(fraction, result.max_write_bw)
+    read_fig.series.extend([healthy_read, rebuild_read])
+    write_fig.series.extend([healthy_write, rebuild_write])
+    return read_fig, write_fig
+
+
 def fig1_traced_point(
     block_size="16m",
     ppn: int = 16,

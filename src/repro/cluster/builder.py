@@ -78,6 +78,7 @@ def build_cluster(
         base_latency=fspec.base_latency,
         msg_bandwidth=fspec.msg_bandwidth,
         software_overhead=fspec.software_overhead,
+        rpc_timeout=fspec.rpc_timeout,
     )
     espec = engine_spec or EngineSpec()
     server_spec = NodeSpec(engines=2, engine=espec)
@@ -148,6 +149,7 @@ def build_lustre_cluster(
         base_latency=fspec.base_latency,
         msg_bandwidth=fspec.msg_bandwidth,
         software_overhead=fspec.software_overhead,
+        rpc_timeout=fspec.rpc_timeout,
     )
     espec = engine_spec or EngineSpec()
     server_spec = NodeSpec(engines=2, engine=espec)

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Set, Tuple
 
-from repro.daos.vos.container import VosContainer
+from repro.daos.vos.container import EpochClock, VosContainer
 from repro.daos.vos.pool import VosPool
-from repro.errors import DerNonexist, DerTimedOut
+from repro.errors import DerNonexist, DerStale, DerTimedOut
 from repro.hardware.node import EngineSlot, StorageTarget
 from repro.network.fabric import Fabric
 from repro.network.ofi import RpcServer
@@ -40,6 +40,7 @@ class Engine:
         fabric: Fabric,
         slot: EngineSlot,
         engine_rank: int,
+        clock: "EpochClock" = None,
     ):
         self.sim = sim
         self.slot = slot
@@ -48,8 +49,14 @@ class Engine:
         self.name = f"engine:{engine_rank}"
         self.server = RpcServer(fabric, slot.node.addr, self.name)
         self.stats = Stats(sim)
+        #: shared system epoch clock (None → shards use private clocks)
+        self.clock = clock
         #: pool shards: pool_uuid -> local target index -> VosPool
         self.pools: Dict[str, Dict[int, VosPool]] = {}
+        #: last committed pool-map version this engine knows of (pushed by
+        #: the pool service); mutating I/O from clients holding an older
+        #: map is fenced with DER_STALE
+        self.map_versions: Dict[str, int] = {}
         self._credits: Dict[int, Semaphore] = {
             t: Semaphore(sim, self.spec.target_inflight)
             for t in range(self.spec.targets)
@@ -79,7 +86,7 @@ class Engine:
         if pool_uuid in self.pools:
             return
         self.pools[pool_uuid] = {
-            t: VosPool(pool_uuid, capacity_per_target)
+            t: VosPool(pool_uuid, capacity_per_target, clock=self.clock)
             for t in range(self.spec.targets)
         }
 
@@ -118,6 +125,27 @@ class Engine:
         self._trees_warmed.add(key)
         self.stats.incr("tree_warms")
         return self.spec.shard_first_read_cost
+
+    # ------------------------------------------------------------- map fencing
+    def check_map_version(self, pool_uuid: str, client_version) -> None:
+        """Fence a mutating op against the client's pool-map version.
+
+        A writer holding an older map than this engine could route around
+        a target that has since started REBUILDING (losing its write from
+        the resync window) or into one that has since been evicted, so
+        the op is rejected with DER_STALE and the client refreshes its
+        map and retries — the libdaos stale-map dance. ``None`` means the
+        caller predates the protocol (rebuild-internal traffic); it is
+        let through.
+        """
+        if client_version is None:
+            return
+        known = self.map_versions.get(pool_uuid, 1)
+        if client_version < known:
+            raise DerStale(
+                f"pool {pool_uuid}: client map v{client_version} "
+                f"< engine map v{known}"
+            )
 
     # ------------------------------------------------------------- failure injection
     def crash(self) -> None:
@@ -208,8 +236,10 @@ class Engine:
         return True
 
     def _h_kv_update(
-        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, value
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, value,
+        map_version=None,
     ) -> Generator:
+        self.check_map_version(pool, map_version)
         yield from self._service(local_tid, media_ops=2)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.update_single(oid, dkey, akey, value)
@@ -222,8 +252,10 @@ class Engine:
         return vc.fetch_single(oid, dkey, akey, epoch)
 
     def _h_kv_punch(
-        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey,
+        map_version=None,
     ) -> Generator:
+        self.check_map_version(pool, map_version)
         yield from self._service(local_tid, media_ops=2)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.punch_single(oid, dkey, akey)
@@ -242,15 +274,19 @@ class Engine:
         return out
 
     def _h_punch_dkey(
-        self, _src, pool: str, cont: str, local_tid: int, oid, dkey
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey,
+        map_version=None,
     ) -> Generator:
+        self.check_map_version(pool, map_version)
         yield from self._service(local_tid, media_ops=2)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.punch_dkey(oid, dkey)
 
     def _h_punch_object(
-        self, _src, pool: str, cont: str, local_tid: int, oid
+        self, _src, pool: str, cont: str, local_tid: int, oid,
+        map_version=None,
     ) -> Generator:
+        self.check_map_version(pool, map_version)
         yield from self._service(local_tid, media_ops=2)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.punch_object(oid)
@@ -264,8 +300,9 @@ class Engine:
 
     def _h_array_punch(
         self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey,
-        offset: int, length: int,
+        offset: int, length: int, map_version=None,
     ) -> Generator:
+        self.check_map_version(pool, map_version)
         yield from self._service(local_tid, media_ops=2)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.punch_array(oid, dkey, akey, offset, length)

@@ -11,6 +11,16 @@ of operations are exposed, matching libdaos:
   chunk the byte range into ``chunk_size`` dkeys, fan the pieces out to
   their shard targets, and charge time through the handle's
   :class:`~repro.daos.stream.IoStream` (one per direction).
+
+Routing consults the pool map's per-target rebuild state: UP targets
+serve reads and writes, REBUILDING targets accept writes but serve no
+reads (their data is incomplete until the resync converges), DOWN and
+DOWNOUT targets serve neither, and a DOWNOUT slot is transparently
+redirected to its deterministic spare (readable once the restore job
+completes). Mutating ops carry the client's map version and are fenced
+with DER_STALE by engines holding a newer map; the handle then refreshes
+the map and retries — the libdaos stale-map dance that guarantees no
+writer keeps routing around a target that has started rebuilding.
 """
 
 from __future__ import annotations
@@ -18,19 +28,26 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.daos.objid import ObjId
-from repro.daos.placement import Layout
+from repro.daos.placement import Layout, effective_groups
 from repro.daos.stream import IoPiece, IoStream
 from repro.daos.vos.payload import Payload, as_payload, concat_payloads
-from repro.errors import DerDataLoss, DerInval
+from repro.errors import DerDataLoss, DerInval, DerStale
 from repro.obs.tracer import NOOP_SPAN
+from repro.rebuild.state import REBUILDING, UP
 from repro.units import MiB
 
 ARRAY_AKEY = b"\x00arr"
 DEFAULT_CHUNK = MiB
 
+#: a route entry: (target id actually serving the slot, readable, writable)
+Route = Tuple[int, bool, bool]
+
 
 class ObjectHandle:
     """Open handle on one object within a container."""
+
+    #: DER_STALE refresh-and-retry budget for mutating ops
+    MAX_MAP_RETRIES = 8
 
     def __init__(self, cont, oid: ObjId):
         self.cont = cont  # ContainerHandle
@@ -39,7 +56,8 @@ class ObjectHandle:
         self.sim = self.client.sim
         self.oid = oid
         self.layout: Layout = cont.pool.placement.layout(oid)
-        self._streams: Dict[str, IoStream] = {}
+        self._streams: Dict[str, Tuple[IoStream, int]] = {}
+        self._route_cache: Optional[Tuple[int, List[List[Route]]]] = None
         self._closed = False
 
     # ------------------------------------------------------------- plumbing
@@ -47,9 +65,54 @@ class ObjectHandle:
     def _ctx(self) -> Tuple[str, str, ObjId]:
         return (self.cont.pool.pool_map.uuid, self.cont.uuid, self.oid)
 
-    def _live_targets(self, tids: List[int]) -> List[int]:
-        excluded = self.cont.pool.pool_map.excluded
-        return [t for t in tids if t not in excluded]
+    def _routes(self) -> List[List[Route]]:
+        """Per-group routing derived from the pool map, cached per map
+        version. The healthy-pool fast path allocates the trivial
+        all-readable/all-writable routes without touching state logic."""
+        pool_map = self.cont.pool.pool_map
+        cached = self._route_cache
+        if cached is not None and cached[0] == pool_map.version:
+            return cached[1]
+        if not pool_map.statuses:
+            routes = [
+                [(t, True, True) for t in group] for group in self.layout.groups
+            ]
+        else:
+            ready = pool_map.downout_ready
+            routes = []
+            for group, egroup in zip(
+                self.layout.groups,
+                effective_groups(self.layout, pool_map.downout),
+            ):
+                route: List[Route] = []
+                for orig, actual in zip(group, egroup):
+                    state = pool_map.state_of(actual)
+                    if actual != orig:
+                        # DOWNOUT slot served by its spare: writable as
+                        # soon as the spare is UP, readable only once
+                        # every restore has landed (downout_ready)
+                        up = state == UP
+                        route.append((actual, up and ready, up))
+                    elif state == UP:
+                        route.append((actual, True, True))
+                    elif state == REBUILDING:
+                        route.append((actual, False, True))
+                    else:  # DOWN, or DOWNOUT with no spare left
+                        route.append((actual, False, False))
+                routes.append(route)
+        self._route_cache = (pool_map.version, routes)
+        return routes
+
+    def _route_for_dkey(self, dkey) -> List[Route]:
+        return self._routes()[self.layout.group_of_dkey(dkey)]
+
+    @staticmethod
+    def _readable(route: List[Route]) -> List[int]:
+        return [t for t, readable, _w in route if readable]
+
+    @staticmethod
+    def _writable(route: List[Route]) -> List[int]:
+        return [t for t, _r, writable in route if writable]
 
     def _vos(self, tid: int):
         ref = self.system.target(tid)
@@ -58,19 +121,44 @@ class ObjectHandle:
         )
 
     def _stream(self, direction: str) -> IoStream:
-        stream = self._streams.get(direction)
-        if stream is None:
-            targets = self._live_targets(self.layout.all_targets)
-            stream = IoStream(self.client, targets, direction)
-            stream.open()
-            self._streams[direction] = stream
+        pool_map = self.cont.pool.pool_map
+        cached = self._streams.get(direction)
+        if cached is not None and cached[1] == pool_map.version:
+            return cached[0]
+        if cached is not None:
+            cached[0].close()
+        want = 1 if direction == "read" else 2
+        targets: List[int] = []
+        seen = set()
+        for route in self._routes():
+            for entry in route:
+                if entry[want] and entry[0] not in seen:
+                    seen.add(entry[0])
+                    targets.append(entry[0])
+        stream = IoStream(self.client, targets, direction)
+        stream.open()
+        self._streams[direction] = (stream, pool_map.version)
         return stream
 
     def close(self) -> None:
-        for stream in self._streams.values():
+        for stream, _version in self._streams.values():
             stream.close()
         self._streams.clear()
         self._closed = True
+
+    def _retry_stale(self, attempt) -> Generator:
+        """Run ``attempt()`` (a fresh generator each call); when an engine
+        fences it with DER_STALE, refresh the pool map — invalidating the
+        route/stream caches keyed on its version — and retry."""
+        retries = self.MAX_MAP_RETRIES
+        while True:
+            try:
+                return (yield from attempt())
+            except DerStale:
+                retries -= 1
+                if retries <= 0:
+                    raise
+                yield from self.cont.pool.refresh_map()
 
     # ------------------------------------------------------------- KV ops
     def _span(self, name: str, **attrs):
@@ -83,8 +171,16 @@ class ObjectHandle:
         )
 
     def put(self, dkey, akey, value) -> Generator:
-        """Write a single value to every live replica of the dkey's group."""
-        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        """Write a single value to every writable replica of the dkey's
+        group (REBUILDING targets included — that is what bounds the
+        resync window)."""
+        return (
+            yield from self._retry_stale(lambda: self._put_once(dkey, akey, value))
+        )
+
+    def _put_once(self, dkey, akey, value) -> Generator:
+        pool_map = self.cont.pool.pool_map
+        targets = self._writable(self._route_for_dkey(dkey))
         if not targets:
             raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         epoch = None
@@ -95,20 +191,21 @@ class ObjectHandle:
                     ref.engine.name,
                     "kv_update",
                     {
-                        "pool": self.cont.pool.pool_map.uuid,
+                        "pool": pool_map.uuid,
                         "cont": self.cont.uuid,
                         "local_tid": ref.local_tid,
                         "oid": self.oid,
                         "dkey": dkey,
                         "akey": akey,
                         "value": value,
+                        "map_version": pool_map.version,
                     },
                 )
         return epoch
 
     def get(self, dkey, akey, epoch: Optional[int] = None) -> Generator:
-        """Read a single value from the first live replica."""
-        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        """Read a single value from the first readable replica."""
+        targets = self._readable(self._route_for_dkey(dkey))
         if not targets:
             raise DerDataLoss(f"no live replica for dkey {dkey!r}")
         ref = self.system.target(targets[0])
@@ -129,7 +226,13 @@ class ObjectHandle:
         return value
 
     def punch(self, dkey, akey) -> Generator:
-        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        return (
+            yield from self._retry_stale(lambda: self._punch_once(dkey, akey))
+        )
+
+    def _punch_once(self, dkey, akey) -> Generator:
+        pool_map = self.cont.pool.pool_map
+        targets = self._writable(self._route_for_dkey(dkey))
         existed = False
         for tid in targets:
             ref = self.system.target(tid)
@@ -137,18 +240,25 @@ class ObjectHandle:
                 ref.engine.name,
                 "kv_punch",
                 {
-                    "pool": self.cont.pool.pool_map.uuid,
+                    "pool": pool_map.uuid,
                     "cont": self.cont.uuid,
                     "local_tid": ref.local_tid,
                     "oid": self.oid,
                     "dkey": dkey,
                     "akey": akey,
+                    "map_version": pool_map.version,
                 },
             )
         return existed
 
     def punch_dkey(self, dkey) -> Generator:
-        targets = self._live_targets(self.layout.targets_for_dkey(dkey))
+        return (
+            yield from self._retry_stale(lambda: self._punch_dkey_once(dkey))
+        )
+
+    def _punch_dkey_once(self, dkey) -> Generator:
+        pool_map = self.cont.pool.pool_map
+        targets = self._writable(self._route_for_dkey(dkey))
         existed = False
         for tid in targets:
             ref = self.system.target(tid)
@@ -156,11 +266,12 @@ class ObjectHandle:
                 ref.engine.name,
                 "punch_dkey",
                 {
-                    "pool": self.cont.pool.pool_map.uuid,
+                    "pool": pool_map.uuid,
                     "cont": self.cont.uuid,
                     "local_tid": ref.local_tid,
                     "oid": self.oid,
                     "dkey": dkey,
+                    "map_version": pool_map.version,
                 },
             )
         return existed
@@ -169,11 +280,11 @@ class ObjectHandle:
         """Enumerate dkeys across all groups (merged, sorted)."""
         merged: List = []
         seen = set()
-        for group in self.layout.groups:
-            live = self._live_targets(group)
-            if not live:
+        for route in self._routes():
+            readable = self._readable(route)
+            if not readable:
                 raise DerDataLoss("group fully excluded")
-            ref = self.system.target(live[0])
+            ref = self.system.target(readable[0])
             keys = yield from self.client.rpc.call(
                 ref.engine.name,
                 "list_dkeys",
@@ -195,19 +306,29 @@ class ObjectHandle:
         return merged[:limit]
 
     def punch_object(self) -> Generator:
-        """Remove the object's data from every live shard target."""
-        for tid in self._live_targets(self.layout.all_targets):
-            ref = self.system.target(tid)
-            yield from self.client.rpc.call(
-                ref.engine.name,
-                "punch_object",
-                {
-                    "pool": self.cont.pool.pool_map.uuid,
-                    "cont": self.cont.uuid,
-                    "local_tid": ref.local_tid,
-                    "oid": self.oid,
-                },
-            )
+        """Remove the object's data from every writable shard target."""
+        return (yield from self._retry_stale(self._punch_object_once))
+
+    def _punch_object_once(self) -> Generator:
+        pool_map = self.cont.pool.pool_map
+        seen = set()
+        for route in self._routes():
+            for tid in self._writable(route):
+                if tid in seen:
+                    continue
+                seen.add(tid)
+                ref = self.system.target(tid)
+                yield from self.client.rpc.call(
+                    ref.engine.name,
+                    "punch_object",
+                    {
+                        "pool": pool_map.uuid,
+                        "cont": self.cont.uuid,
+                        "local_tid": ref.local_tid,
+                        "oid": self.oid,
+                        "map_version": pool_map.version,
+                    },
+                )
         return True
 
     # ------------------------------------------------------------- array ops
@@ -216,7 +337,6 @@ class ObjectHandle:
     ) -> List[IoPiece]:
         pieces: List[IoPiece] = []
         cursor = 0
-        excluded = self.cont.pool.pool_map.excluded
         ec = self.oid.oclass.is_ec
         while cursor < payload.nbytes:
             absolute = offset + cursor
@@ -224,16 +344,15 @@ class ObjectHandle:
             within = absolute % chunk_size
             take = min(chunk_size - within, payload.nbytes - cursor)
             fragment = payload.slice(cursor, cursor + take)
+            route = self._route_for_dkey(chunk_idx)
             if ec:
                 pieces.extend(
                     self._ec_write_pieces(
-                        chunk_idx, within, fragment, chunk_size, akey
+                        chunk_idx, within, fragment, chunk_size, akey, route
                     )
                 )
             else:
-                for tid in self.layout.targets_for_dkey(chunk_idx):
-                    if tid in excluded:
-                        continue
+                for tid in self._writable(route):
                     vc = self._vos(tid)
                     pieces.append(
                         IoPiece(
@@ -258,7 +377,7 @@ class ObjectHandle:
 
     def _ec_write_pieces(
         self, chunk_idx: int, within: int, fragment: Payload,
-        chunk_size: int, akey: bytes,
+        chunk_size: int, akey: bytes, route: List[Route],
     ) -> List[IoPiece]:
         """Full-stripe erasure-coded write of one chunk.
 
@@ -275,8 +394,6 @@ class ObjectHandle:
                 "erasure-coded objects require stripe-aligned writes "
                 f"(offset within chunk = {within})"
             )
-        group = self.layout.targets_for_dkey(chunk_idx)
-        excluded = self.cont.pool.pool_map.excluded
         cells: List[Payload] = []
         for ci in range(k):
             lo = min(ci * cell_len, fragment.nbytes)
@@ -294,8 +411,8 @@ class ObjectHandle:
         for ci, cell in enumerate(cells):
             if cell.nbytes == 0:
                 continue
-            tid = group[ci]
-            if tid in excluded:
+            tid, _readable, writable = route[ci]
+            if not writable:
                 continue  # will be reconstructed from parity on read
             vc = self._vos(tid)
             pieces.append(
@@ -309,8 +426,8 @@ class ObjectHandle:
             )
         if parity is not None:
             for pi in range(p):
-                tid = group[k + pi]
-                if tid in excluded:
+                tid, _readable, writable = route[k + pi]
+                if not writable:
                     continue
                 vc = self._vos(tid)
                 pieces.append(
@@ -335,8 +452,7 @@ class ObjectHandle:
         from repro.daos.vos.payload import XorPayload
 
         k, p, cell_len = self._ec_geometry(chunk_size)
-        group = self.layout.targets_for_dkey(chunk_idx)
-        excluded = self.cont.pool.pool_map.excluded
+        route = self._route_for_dkey(chunk_idx)
         plan = []
         cursor = within
         stop = within + take
@@ -344,8 +460,8 @@ class ObjectHandle:
             ci = cursor // cell_len
             cell_off = cursor % cell_len
             cell_take = min(cell_len - cell_off, stop - cursor)
-            tid = group[ci]
-            if tid not in excluded:
+            tid, readable, _writable = route[ci]
+            if readable:
                 vc = self._vos(tid)
                 piece = IoPiece(
                     tid,
@@ -358,20 +474,19 @@ class ObjectHandle:
             else:
                 # degraded: XOR of parity and the k-1 surviving data cells
                 survivors = [
-                    group[other] for other in range(k) if other != ci
+                    route[other] for other in range(k) if other != ci
                 ]
                 parity_live = [
-                    group[k + pi] for pi in range(p)
-                    if group[k + pi] not in excluded
+                    route[k + pi][0] for pi in range(p) if route[k + pi][1]
                 ]
                 if not parity_live or any(
-                    t in excluded for t in survivors
+                    not entry[1] for entry in survivors
                 ):
                     raise DerDataLoss(
                         f"chunk {chunk_idx} cell {ci}: too many failures "
                         "for EC reconstruction"
                     )
-                sources = survivors + parity_live[:1]
+                sources = [entry[0] for entry in survivors] + parity_live[:1]
                 pieces = []
                 for src in sources:
                     vc = self._vos(src)
@@ -400,13 +515,25 @@ class ObjectHandle:
         payload = as_payload(data)
         if payload.nbytes == 0:
             return 0
+        return (
+            yield from self._retry_stale(
+                lambda: self._write_once(offset, payload, chunk_size, akey)
+            )
+        )
+
+    def _write_once(
+        self, offset: int, payload: Payload, chunk_size: int, akey: bytes
+    ) -> Generator:
+        pool_map = self.cont.pool.pool_map
         pieces = self._chunk_pieces_write(offset, payload, chunk_size, akey)
         if not pieces:
             raise DerDataLoss("all replicas excluded")
         with self._span(
             "client.array_write", offset=offset, nbytes=payload.nbytes
         ):
-            yield from self._stream("write").io(pieces, self._ctx)
+            yield from self._stream("write").io(
+                pieces, self._ctx, map_version=pool_map.version
+            )
         return payload.nbytes
 
     def read(
@@ -419,7 +546,6 @@ class ObjectHandle:
         """Task helper: read ``length`` bytes (holes zero-filled)."""
         if length <= 0:
             return as_payload(b"")
-        excluded = self.cont.pool.pool_map.excluded
         ec = self.oid.oclass.is_ec
         #: list of (pieces, combine): combine=None yields pieces[0]'s
         #: result; otherwise combine(results) reconstructs the fragment
@@ -437,16 +563,12 @@ class ObjectHandle:
                     )
                 )
             else:
-                live = [
-                    t
-                    for t in self.layout.targets_for_dkey(chunk_idx)
-                    if t not in excluded
-                ]
-                if not live:
+                readable = self._readable(self._route_for_dkey(chunk_idx))
+                if not readable:
                     raise DerDataLoss(
                         f"chunk {chunk_idx}: all replicas excluded"
                     )
-                tid = live[0]
+                tid = readable[0]
                 vc = self._vos(tid)
                 piece = IoPiece(
                     tid,
@@ -473,24 +595,24 @@ class ObjectHandle:
         """Task helper: apparent array size (max written byte + 1).
 
         Non-EC: a size query per layout group leader. EC: a query per
-        live *data* shard (cell positions map back to file offsets)."""
+        readable *data* shard (cell positions map back to file offsets)."""
         oclass = self.oid.oclass
         high = 0
-        for group in self.layout.groups:
+        for route in self._routes():
             if oclass.is_ec:
                 _k, _p, cell_len = self._ec_geometry(chunk_size)
                 queried = [
-                    (ci, tid)
-                    for ci, tid in enumerate(group[: oclass.ec_k])
-                    if tid not in self.cont.pool.pool_map.excluded
+                    (ci, entry[0])
+                    for ci, entry in enumerate(route[: oclass.ec_k])
+                    if entry[1]
                 ]
                 if not queried:
                     raise DerDataLoss("all data shards excluded")
             else:
-                live = self._live_targets(group)
-                if not live:
+                readable = self._readable(route)
+                if not readable:
                     raise DerDataLoss("group fully excluded")
-                queried = [(None, live[0])]
+                queried = [(None, readable[0])]
             for cell_idx, tid in queried:
                 ref = self.system.target(tid)
                 sizes = yield from self.client.rpc.call(
@@ -524,6 +646,16 @@ class ObjectHandle:
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: punch bytes [offset, offset+length)."""
+        return (
+            yield from self._retry_stale(
+                lambda: self._punch_range_once(offset, length, chunk_size, akey)
+            )
+        )
+
+    def _punch_range_once(
+        self, offset: int, length: int, chunk_size: int, akey: bytes
+    ) -> Generator:
+        pool_map = self.cont.pool.pool_map
         cursor = offset
         stop = offset + length
         freed = 0
@@ -531,15 +663,13 @@ class ObjectHandle:
             chunk_idx = cursor // chunk_size
             within = cursor % chunk_size
             take = min(chunk_size - within, stop - cursor)
-            for tid in self._live_targets(
-                self.layout.targets_for_dkey(chunk_idx)
-            ):
+            for tid in self._writable(self._route_for_dkey(chunk_idx)):
                 ref = self.system.target(tid)
                 freed = yield from self.client.rpc.call(
                     ref.engine.name,
                     "array_punch",
                     {
-                        "pool": self.cont.pool.pool_map.uuid,
+                        "pool": pool_map.uuid,
                         "cont": self.cont.uuid,
                         "local_tid": ref.local_tid,
                         "oid": self.oid,
@@ -547,6 +677,7 @@ class ObjectHandle:
                         "akey": akey,
                         "offset": within,
                         "length": take,
+                        "map_version": pool_map.version,
                     },
                 )
             cursor += take

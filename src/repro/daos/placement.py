@@ -64,11 +64,43 @@ class Layout:
     entry is the group leader). A dkey belongs to exactly one group.
     """
 
-    __slots__ = ("oid", "groups")
+    __slots__ = ("oid", "groups", "_probe", "_spares")
 
-    def __init__(self, oid: ObjId, groups: List[List[int]]):
+    def __init__(self, oid: ObjId, groups: List[List[int]],
+                 probe: "Tuple[int, int, int]" = None):
         self.oid = oid
         self.groups = groups
+        #: (n_targets, start, stride) of the probe sequence that produced
+        #: ``groups`` — continuing it yields the deterministic spares used
+        #: when a member goes DOWNOUT.
+        self._probe = probe
+        self._spares = None
+
+    @property
+    def spares(self) -> List[int]:
+        """Targets outside the layout, in probe order (may be empty).
+
+        Every client derives the same list from the OID alone, so spare
+        substitution after a permanent exclusion needs no metadata — the
+        same algorithmic-placement property the primary layout has.
+        """
+        if self._spares is None:
+            if self._probe is None:
+                self._spares = []
+            else:
+                n_targets, start, stride = self._probe
+                taken = set(self.all_targets)
+                seq: List[int] = []
+                probe = start
+                # the probe is full-cycle (gcd(stride, n) == 1): n steps
+                # visit every target exactly once
+                for _ in range(n_targets):
+                    if probe not in taken:
+                        taken.add(probe)
+                        seq.append(probe)
+                    probe = (probe + stride) % n_targets
+                self._spares = seq
+        return self._spares
 
     @property
     def group_count(self) -> int:
@@ -129,6 +161,31 @@ class PlacementMap:
         groups = [
             chosen[g * width : (g + 1) * width] for g in range(groups_nr)
         ]
-        layout = Layout(oid, groups)
+        layout = Layout(oid, groups, probe=(self.n_targets, start, stride))
         self._cache[key] = layout
         return layout
+
+
+def effective_groups(layout: Layout, downout: frozenset) -> List[List[int]]:
+    """Substitute DOWNOUT members with deterministic spares.
+
+    Every DOWNOUT slot (group-major order) takes the next spare from the
+    layout's probe continuation that is not itself DOWNOUT; slots with no
+    spare left keep the dead member (the slot stays degraded forever).
+    The result depends only on (layout, downout) — DOWNOUT is terminal,
+    so the substitution is stable over time and every client and the
+    rebuild engine agree on it without coordination.
+    """
+    if not downout:
+        return layout.groups
+    spares = iter(s for s in layout.spares if s not in downout)
+    groups: List[List[int]] = []
+    for group in layout.groups:
+        new_group = []
+        for tid in group:
+            if tid in downout:
+                new_group.append(next(spares, tid))
+            else:
+                new_group.append(tid)
+        groups.append(new_group)
+    return groups

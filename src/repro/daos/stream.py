@@ -97,11 +97,15 @@ class IoStream:
         return self._flow.rate if self._flow is not None else 0.0
 
     # ------------------------------------------------------------- one op
-    def io(self, pieces: List[IoPiece], context) -> Generator:
+    def io(self, pieces: List[IoPiece], context, map_version=None) -> Generator:
         """Task helper: perform one I/O op made of parallel pieces.
 
         ``context`` is the (pool, cont, oid) tuple used for first-writer
-        tree accounting. Returns the list of piece results in order.
+        tree accounting. ``map_version`` is the client's pool-map version;
+        writes are fenced against every engine they touch *before* any
+        payload is applied (DER_STALE, see Engine.check_map_version), so
+        a stale writer never partially lands an op. Returns the list of
+        piece results in order.
         """
         if self._flow is None:
             self.open()
@@ -122,6 +126,13 @@ class IoStream:
                     f"{self.direction} to target {piece.tid}: "
                     f"{engine.name} is down"
                 )
+        if write and map_version is not None:
+            fenced = set()
+            for piece in pieces:
+                engine = self.system.target(piece.tid).engine
+                if engine.name not in fenced:
+                    fenced.add(engine.name)
+                    engine.check_map_version(pool, map_version)
 
         overhead = node_spec.client_cpu_per_op
         widest = 0.0

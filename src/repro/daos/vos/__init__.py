@@ -16,10 +16,12 @@ from repro.daos.vos.payload import (
 )
 from repro.daos.vos.btree import BPlusTree
 from repro.daos.vos.extent import Extent, ExtentTree
-from repro.daos.vos.container import VosContainer, VosObject
+from repro.daos.vos.container import TOMBSTONE, EpochClock, VosContainer, VosObject
 from repro.daos.vos.pool import VosPool
 
 __all__ = [
+    "EpochClock",
+    "TOMBSTONE",
     "Payload",
     "BytesPayload",
     "PatternPayload",

@@ -76,6 +76,71 @@ class ExtentTree:
         self._extents.insert(idx, new)
         return payload.nbytes - freed
 
+    def write_rebuild(self, offset: int, data, epoch: int) -> int:
+        """Overlay ``data`` at its *original* ``epoch``, never clobbering
+        bytes already held at an equal-or-newer epoch.
+
+        The rebuild engine replays extents copied from surviving replicas
+        onto a returning shard; a foreground write that landed on the
+        shard while the resync was in flight carries a newer epoch and
+        must survive the replay. Returns bytes newly consumed.
+        """
+        payload = as_payload(data)
+        if payload.nbytes == 0:
+            return 0
+        if offset < 0:
+            raise ValueError("negative offset")
+        stop = offset + payload.nbytes
+        # Collect the sub-ranges the shard already holds at >= epoch
+        # before mutating anything.
+        blocked: List[Tuple[int, int]] = []
+        idx = bisect.bisect_left(self._starts, offset)
+        if idx > 0 and self._extents[idx - 1].end > offset:
+            idx -= 1
+        for ext in self._extents[idx:]:
+            if ext.offset >= stop:
+                break
+            if ext.epoch >= epoch:
+                blocked.append((max(ext.offset, offset), min(ext.end, stop)))
+        delta = 0
+        cursor = offset
+        for bstart, bstop in blocked + [(stop, stop)]:
+            if bstart > cursor:
+                delta += self.write(
+                    cursor,
+                    payload.slice(cursor - offset, bstart - offset),
+                    epoch,
+                )
+            cursor = max(cursor, bstop)
+        return delta
+
+    @property
+    def max_epoch(self) -> int:
+        """Newest epoch among stored extents (0 when empty)."""
+        return max((e.epoch for e in self._extents), default=0)
+
+    def covered_at(self, offset: int, length: int, epoch: int) -> bool:
+        """True iff every byte of [offset, offset+length) is held at an
+        epoch >= ``epoch`` — the rebuild engine's dest-side filter that
+        keeps the scan/migrate converge loop from re-copying data a
+        previous round (or a fenced foreground write) already landed."""
+        if length <= 0:
+            return True
+        stop = offset + length
+        cursor = offset
+        idx = bisect.bisect_left(self._starts, offset)
+        if idx > 0 and self._extents[idx - 1].end > offset:
+            idx -= 1
+        for ext in self._extents[idx:]:
+            if ext.offset >= stop:
+                break
+            if ext.offset > cursor or ext.epoch < epoch:
+                return False
+            cursor = ext.end
+            if cursor >= stop:
+                return True
+        return cursor >= stop
+
     def punch(self, offset: int, length: int) -> int:
         """Remove [offset, offset+length); returns bytes freed."""
         if length <= 0:

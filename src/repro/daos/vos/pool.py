@@ -11,12 +11,15 @@ from repro.errors import DerExist, DerNoSpace, DerNonexist
 class VosPool:
     """The slice of a DAOS pool held by one target."""
 
-    def __init__(self, pool_uuid: str, capacity: int):
+    def __init__(self, pool_uuid: str, capacity: int, clock=None):
         if capacity <= 0:
             raise ValueError("pool shard capacity must be positive")
         self.pool_uuid = pool_uuid
         self.capacity = int(capacity)
         self.used = 0
+        #: optional shared :class:`~repro.daos.vos.container.EpochClock`;
+        #: containers fall back to a private clock when absent.
+        self.clock = clock
         self.containers: Dict[str, VosContainer] = {}
 
     def charge(self, delta: int) -> None:

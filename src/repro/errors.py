@@ -106,6 +106,19 @@ class DerTimedOut(DaosError):
     code = "DER_TIMEDOUT"
 
 
+class DerStale(DaosError):
+    """Client pool-map version is older than the server's.
+
+    Raised by engines fencing mutating I/O: a writer holding a stale map
+    could route around a target that has since come back (or into one
+    that has since left), so the server rejects the op and the client
+    refreshes its map and retries — exactly the DER_STALE dance libdaos
+    performs.
+    """
+
+    code = "DER_STALE"
+
+
 class DerDataLoss(DaosError):
     """Data unreachable: every replica/shard holding a range is excluded
     or failed (degraded mode past the object class's redundancy)."""

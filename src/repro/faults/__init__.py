@@ -24,7 +24,11 @@ from repro.faults.events import (
     RestartReplica,
 )
 from repro.faults.injector import EventTrace, FaultInjector
-from repro.faults.invariants import InvariantViolation, check_raft_safety
+from repro.faults.invariants import (
+    InvariantViolation,
+    check_raft_safety,
+    check_replica_consistency,
+)
 from repro.faults.schedule import FaultSchedule
 
 __all__ = [
@@ -47,4 +51,5 @@ __all__ = [
     "RestartEngine",
     "RestartReplica",
     "check_raft_safety",
+    "check_replica_consistency",
 ]

@@ -94,17 +94,23 @@ class RestartEngine(FaultEvent):
 # ------------------------------------------------------------------ targets
 @dataclass(frozen=True)
 class ExcludeTarget(FaultEvent):
-    """Mark a global target DOWN in the pool map (via the Raft service).
+    """Mark a global target DOWN in the pool map (via the Raft service);
+    ``permanent=True`` evicts it for good (DOWNOUT) and queues a rebuild
+    onto its deterministic spare.
 
     ``pool_uuid=None`` means the cluster's boot pool.
     """
 
     tid: int
     pool_uuid: Optional[str] = None
+    permanent: bool = False
 
 
 @dataclass(frozen=True)
 class ReintegrateTarget(FaultEvent):
+    """Bring a DOWN target back: it enters REBUILDING (accepting writes,
+    serving no reads) and flips UP once the background resync converges."""
+
     tid: int
     pool_uuid: Optional[str] = None
 

@@ -169,10 +169,12 @@ class FaultInjector:
 
         def task() -> Generator:
             version = yield from self.cluster.daos.exclude_target(
-                uuid, event.tid
+                uuid, event.tid, permanent=event.permanent
             )
+            state = "DOWNOUT" if event.permanent else "DOWN"
             self.trace.note(
-                self.sim.now, f"pool map v{version}: target {event.tid} DOWN"
+                self.sim.now,
+                f"pool map v{version}: target {event.tid} {state}",
             )
 
         self._pending_tasks.append(
@@ -188,7 +190,8 @@ class FaultInjector:
                 uuid, event.tid
             )
             self.trace.note(
-                self.sim.now, f"pool map v{version}: target {event.tid} UP"
+                self.sim.now,
+                f"pool map v{version}: target {event.tid} REBUILDING",
             )
 
         self._pending_tasks.append(

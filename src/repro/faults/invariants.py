@@ -142,3 +142,153 @@ def check_raft_safety(service, commands: Iterable = ()) -> Dict[str, int]:
         "max_commit": high,
         "live": sum(1 for n in nodes if n._alive),
     }
+
+
+def check_replica_consistency(system) -> Dict[str, int]:
+    """Storage-level invariant: redundancy groups agree wherever they
+    should.
+
+    For every object in every pool, members of a redundancy group that
+    are UP (including a DOWNOUT slot's spare once its restore completed)
+    must hold identical single values and identical extent bytes; for
+    erasure-coded groups with every slot available, each stripe's parity
+    must equal the XOR of its zero-padded data cells. Members that are
+    DOWN, REBUILDING, or an un-restored spare are skipped —
+    incompleteness there is exactly what the rebuild engine repairs.
+
+    Raises :class:`InvariantViolation` on divergence; returns counters
+    for the chaos trace.
+    """
+    from repro.daos.placement import PlacementMap, effective_groups
+    from repro.daos.vos.extent import ExtentTree
+    from repro.daos.vos.payload import Payload
+    from repro.rebuild.state import UP
+
+    def normalize(value):
+        if isinstance(value, Payload):
+            return value.materialize()
+        return value
+
+    def shard_view(vc, oid):
+        """(dkey, akey) -> comparable content for one member's shard."""
+        view = {}
+        obj = vc.objects.get(oid)
+        if obj is None:
+            return view
+        for dkey, akeys in obj.dkeys.items():
+            for akey, value in akeys.items():
+                if isinstance(value, ExtentTree):
+                    if value.size:
+                        view[(dkey, akey)] = (
+                            "array", value.read(0, value.size).materialize()
+                        )
+                elif value.history:
+                    epoch, latest = value.history[-1]
+                    view[(dkey, akey)] = ("single", normalize(latest))
+        return view
+
+    counts = {"pools": 0, "objects": 0, "groups": 0}
+    for pool_uuid in sorted(system._pool_maps):
+        pool_map = system._pool_maps[pool_uuid]
+        counts["pools"] += 1
+        placement = PlacementMap(pool_map.n_targets)
+        inventory = set()
+        for engine in system.engines:
+            for shard in engine.pools.get(pool_uuid, {}).values():
+                for cont_uuid, vc in shard.containers.items():
+                    for oid in vc.objects:
+                        inventory.add((cont_uuid, oid))
+
+        def vc_of(tid, cont_uuid):
+            ref = system.target(tid)
+            return ref.engine.container_shard(
+                pool_uuid, ref.local_tid, cont_uuid
+            )
+
+        def slot_ready(orig, actual):
+            if pool_map.state_of(actual) != UP:
+                return False
+            if actual == orig:
+                return True
+            status = pool_map.statuses.get(orig)
+            return status is not None and status.rebuilt
+
+        for cont_uuid, oid in sorted(
+            inventory, key=lambda item: (item[0], item[1].hi, item[1].lo)
+        ):
+            counts["objects"] += 1
+            layout = placement.layout(oid)
+            effective = effective_groups(layout, pool_map.downout)
+            for group, egroup in zip(layout.groups, effective):
+                ready = [
+                    actual
+                    for orig, actual in zip(group, egroup)
+                    if slot_ready(orig, actual)
+                ]
+                if len(ready) < 2:
+                    continue
+                counts["groups"] += 1
+                if oid.oclass.is_ec:
+                    _check_ec_group(
+                        pool_uuid, oid, group, egroup, ready,
+                        oid.oclass.ec_k, vc_of, cont_uuid, slot_ready,
+                    )
+                else:
+                    base_tid = ready[0]
+                    base = shard_view(vc_of(base_tid, cont_uuid), oid)
+                    for tid in ready[1:]:
+                        other = shard_view(vc_of(tid, cont_uuid), oid)
+                        if other != base:
+                            raise InvariantViolation(
+                                f"replica divergence on {oid} "
+                                f"(pool {pool_uuid}): target {tid} vs "
+                                f"{base_tid}"
+                            )
+    return counts
+
+
+def _check_ec_group(
+    pool_uuid, oid, group, egroup, ready, k, vc_of, cont_uuid, slot_ready
+):
+    """Parity = XOR of zero-padded data cells, per (dkey, akey) stripe —
+    only checkable when the whole group is available."""
+    from repro.daos.vos.extent import ExtentTree
+
+    if len(ready) < len(group):
+        return  # degraded group: parity equation has unknowns
+    actuals = [actual for _orig, actual in zip(group, egroup)]
+
+    def trees(tid):
+        out = {}
+        vc = vc_of(tid, cont_uuid)
+        obj = vc.objects.get(oid)
+        if obj is None:
+            return out
+        for dkey, akeys in obj.dkeys.items():
+            for akey, value in akeys.items():
+                if isinstance(value, ExtentTree) and value.size:
+                    out[(dkey, akey)] = value.read(0, value.size).materialize()
+        return out
+
+    member_data = [trees(tid) for tid in actuals]
+    parity_data = member_data[k]  # first parity shard
+    stripe_keys = set()
+    for data in member_data:
+        stripe_keys.update(data)
+    for key in sorted(stripe_keys):
+        parity = parity_data.get(key)
+        if parity is None:
+            raise InvariantViolation(
+                f"EC group of {oid} (pool {pool_uuid}): stripe {key!r} "
+                "has data but no parity"
+            )
+        acc = bytearray(len(parity))
+        for ci in range(k):
+            cell = member_data[ci].get(key, b"")
+            for i, byte in enumerate(cell[: len(parity)]):
+                acc[i] ^= byte
+        if bytes(acc) != parity:
+            raise InvariantViolation(
+                f"EC parity mismatch on {oid} (pool {pool_uuid}), "
+                f"stripe {key!r}"
+            )

@@ -136,13 +136,13 @@ class FaultSchedule:
                 sched.at(start, ev.MediaSlow(rank, extra, factor))
                 sched.at(stop, ev.MediaRestore(rank))
             elif kind == "target":
-                # Exclusion only: reintegration without a rebuild pass can
-                # resurface a stale replica if the workload wrote during
-                # the window, so random schedules leave targets excluded.
-                # Explicit schedules may reintegrate when they know it is
-                # safe (e.g. after read-back verification).
+                # Exclude for the window, reintegrate at its end — even
+                # with the workload writing throughout: the rebuild
+                # engine resyncs the exclusion window before the target
+                # serves reads again, so no stale replica can resurface.
                 tid = target_ids[rng.integer(stream, 0, len(target_ids))]
                 sched.at(start, ev.ExcludeTarget(tid))
+                sched.at(stop, ev.ReintegrateTarget(tid))
             elif kind == "replica":
                 # None = whoever leads at fire time: the interesting crash
                 sched.at(start, ev.CrashReplica(None))

@@ -118,6 +118,9 @@ class FabricSpec:
     base_latency: float = 1.5e-6
     msg_bandwidth: float = 11.0e9
     software_overhead: float = 0.8e-6
+    #: how long a caller waits before giving up on an unresponsive peer —
+    #: the DER_TIMEDOUT reply delay charged when an RPC hits a down engine
+    rpc_timeout: float = 5.0e-3
 
 
 def nextgenio_node(server: bool) -> NodeSpec:

@@ -38,6 +38,7 @@ class Fabric:
         base_latency: float = 1.5e-6,
         msg_bandwidth: float = 11e9,
         software_overhead: float = 0.8e-6,
+        rpc_timeout: float = 5e-3,
     ):
         self.sim = sim
         self.flownet = FlowNetwork(sim)
@@ -47,6 +48,9 @@ class Fabric:
         self.msg_bandwidth = msg_bandwidth
         #: per-message CPU cost at each end (libfabric + provider stack)
         self.software_overhead = software_overhead
+        #: RPC-caller timeout against an unresponsive peer (see
+        #: :class:`~repro.hardware.specs.FabricSpec.rpc_timeout`)
+        self.rpc_timeout = rpc_timeout
         self._nodes: Dict[str, Tuple[Link, Link]] = {}
         self._endpoints: Dict[str, "object"] = {}
         # -- fault plane state (see the fault-plane section below) --

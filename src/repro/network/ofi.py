@@ -107,7 +107,7 @@ class RpcServer(Endpoint):
         #: being dispatched (crashed server: the reply stands in for the
         #: caller's RPC timeout, after ``unavailable_delay``)
         self._unavailable: Optional[Callable[[], Exception]] = None
-        self.unavailable_delay = 5e-3
+        self.unavailable_delay = fabric.rpc_timeout
 
     def register(self, op: str, handler: Callable[..., Generator]) -> None:
         self._handlers[op] = handler

@@ -27,6 +27,7 @@ LAYER_ORDER = [
     "fabric",
     "engine",
     "vos",
+    "rebuild",
     "faults",
 ]
 

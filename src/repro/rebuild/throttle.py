@@ -1,0 +1,40 @@
+"""Rebuild bandwidth throttle.
+
+Real DAOS ships rebuild with a tunable share of engine bandwidth (the
+``rebuild space/bw reservation``) so that recovering a pool does not
+starve foreground I/O. We reproduce that with the flow network's
+intrinsic rate caps: every rebuild migration flow is opened with
+``cap = fraction × bottleneck-link capacity``, which bounds the traffic
+the rebuild may consume while max-min fair sharing hands everything else
+to foreground flows. ``fraction >= 1`` disables the throttle (the flow
+is then limited only by fair sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+
+class RebuildThrottle:
+    """Caps rebuild flows to a fraction of the bottleneck bandwidth."""
+
+    def __init__(self, fraction: float = 0.25):
+        self.fraction = float(fraction)
+
+    def cap_for(self, weighted_links: Iterable[Tuple[object, float]]) -> Optional[float]:
+        """Flow-rate cap for a migration over ``(link, weight)`` pairs.
+
+        The binding constraint of a flow is the link with the smallest
+        ``capacity / weight`` ratio (a weight > 1 means the flow crosses
+        that link with multiplied consumption). Returns ``None`` when the
+        throttle is disabled.
+        """
+        if self.fraction >= 1.0:
+            return None
+        bottleneck = min(
+            (link.capacity / weight for link, weight in weighted_links if weight > 0),
+            default=None,
+        )
+        if bottleneck is None:
+            return None
+        return self.fraction * bottleneck

@@ -1,15 +1,17 @@
 """Acceptance: both resilience layers, end to end.
 
 The test version of ``examples/failure_resilience.py`` — Raft-replicated
-pool/container metadata survives a service-leader crash mid-session, and
-an RP_2G1 object survives a storage-target exclusion — asserted instead
-of printed, on a test-sized cluster.
+pool/container metadata survives a service-leader crash mid-session, an
+RP_2G1 object survives a storage-target exclusion, and the rebuild
+engine resyncs the excluded target back to full health — asserted
+instead of printed, on a test-sized cluster.
 """
 
 from repro.cluster import small_cluster
 from repro.daos.oclass import RP_2G1
 
 SENTENCE = b"forecast state vector"
+REVISED = b"revised state vector "
 
 
 def test_failure_resilience_scenario():
@@ -47,12 +49,28 @@ def test_failure_resilience_scenario():
         report["map_version"] = pool.pool_map.version
         survivor = cont.open_object(oid)
         data = yield from survivor.read(0, len(SENTENCE))
-        obj.close()
+        report["degraded_read"] = data.materialize()
         survivor.close()
+
+        # --- self-healing: write through the window, then reintegrate ---
+        yield from obj.write(0, REVISED * 1000)
+        yield from cluster.daos.reintegrate_target(
+            pool.pool_map.uuid, replicas[0]
+        )
+        query = yield from cluster.daos.wait_rebuild(pool.pool_map.uuid)
+        report["rebuild"] = query["rebuild"]
+        report["health"] = (query["up_targets"], query["n_targets"],
+                            query["targets"])
+        yield from pool.refresh_map()
+        healed = cont.open_object(oid)
+        data = yield from healed.read(0, len(REVISED))
+        obj.close()
+        healed.close()
         return data.materialize()
 
     data = cluster.run(scenario(), limit=1e6)
-    assert data == SENTENCE  # read whole from the surviving replica
+    assert report["degraded_read"] == SENTENCE  # whole, from the survivor
+    assert data == REVISED  # post-heal read sees the window write
 
     crashed, successor = report["failover"]
     assert successor != crashed  # leadership really moved
@@ -60,6 +78,12 @@ def test_failure_resilience_scenario():
     assert len(report["replicas"]) == 2  # RP_2: two distinct targets
     assert report["replicas"][0] != report["replicas"][1]
     assert report["map_version"] >= 2  # exclusion bumped the pool map
+
+    # the rebuild drained and the pool is fully healthy again
+    assert report["rebuild"]["status"] == "done"
+    assert report["rebuild"]["bytes_moved"] >= len(REVISED) * 1000
+    up, total, statuses = report["health"]
+    assert up == total and statuses == {}
 
     # the restarted ex-leader rejoined: all replicas live and safe
     cluster.sim.run(until=cluster.sim.now + 6.0)

@@ -116,8 +116,16 @@ def test_ec_chunk_not_divisible_rejected(cluster, cont):
     assert cluster.run(go()) == "rejected"
 
 
-def test_ec_degraded_read_reconstructs_content(cluster):
-    client = cluster.new_client(0)
+@pytest.mark.parametrize(
+    "victim_pos", [0, 1, 2], ids=["data-cell-0", "data-cell-1", "parity"]
+)
+def test_ec_degraded_read_reconstructs_content(victim_pos):
+    """Losing ANY single shard of an EC_2P1 group — either data cell or
+    the parity — leaves every byte readable. A fresh cluster per victim
+    keeps the exclusions independent."""
+    fresh = small_cluster(server_nodes=2, client_nodes=1,
+                          targets_per_engine=2)
+    client = fresh.new_client(0)
 
     def go():
         pool = yield from client.connect_pool("tank")
@@ -127,9 +135,9 @@ def test_ec_degraded_read_reconstructs_content(cluster):
         obj = cont.open_object(oid)
         pattern = PatternPayload(seed=9, origin=0, nbytes=2 * MiB)
         yield from obj.write(0, pattern, chunk_size=MiB)
-        # kill the FIRST data cell's target of chunk 0
-        victim = obj.layout.targets_for_dkey(0)[0]
-        yield from cluster.daos.exclude_target(pool.pool_map.uuid, victim)
+        # kill the chosen cell's target (cells 0..k-1 are data, k.. parity)
+        victim = obj.layout.targets_for_dkey(0)[victim_pos]
+        yield from fresh.daos.exclude_target(pool.pool_map.uuid, victim)
         yield from pool.refresh_map()
         degraded = cont.open_object(oid)
         back = yield from degraded.read(0, 2 * MiB, chunk_size=MiB)
@@ -137,7 +145,7 @@ def test_ec_degraded_read_reconstructs_content(cluster):
         degraded.close()
         return back, pattern
 
-    back, pattern = cluster.run(go())
+    back, pattern = fresh.run(go())
     assert back.materialize() == pattern.materialize()
 
 

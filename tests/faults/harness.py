@@ -33,6 +33,7 @@ from repro.faults import (
     Heal,
     PartitionLeader,
     check_raft_safety,
+    check_replica_consistency,
 )
 
 DEFAULT_SEED = 0xDA05
@@ -47,6 +48,8 @@ class ChaosRun:
     trace: EventTrace
     summary: Dict[str, int]
     cluster: object
+    #: storage-level replica/EC-parity consistency counters
+    consistency: Dict[str, int] = None
 
     @property
     def trace_bytes(self) -> bytes:
@@ -81,6 +84,17 @@ def run_chaos(
     # Let in-flight elections, heals and injector tasks settle before
     # judging safety.
     cluster.sim.run(until=cluster.sim.now + settle)
+    # Drain any rebuild a late reintegration left running, then hold the
+    # storage layer to the replica-consistency invariant: every group's
+    # available members agree, EC parity checks out.
+    drain = cluster.sim.spawn(
+        _drain_rebuilds(cluster), "chaos:drain-rebuild"
+    )
+    cluster.sim.run_until_complete(drain, limit=limit)
+    consistency = check_replica_consistency(cluster.daos)
+    injector.note(
+        "replica consistency ok %s" % sorted(consistency.items())
+    )
     summary = check_raft_safety(cluster.daos.svc)
     injector.note(
         "chaos done result=%r summary=%s" % (result, sorted(summary.items()))
@@ -91,7 +105,13 @@ def run_chaos(
         trace=injector.trace,
         summary=summary,
         cluster=cluster,
+        consistency=consistency,
     )
+
+
+def _drain_rebuilds(cluster):
+    for pool_uuid in sorted(cluster.daos._pool_maps):
+        yield from cluster.daos.rebuild.wait(pool_uuid)
 
 
 # --------------------------------------------------------------------------

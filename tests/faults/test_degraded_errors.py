@@ -112,8 +112,9 @@ def test_ec_beyond_parity_budget_raises_data_loss():
 
 
 def test_reintegration_restores_readability():
-    """With no writes during the exclusion window, reintegration makes
-    the data reachable again (no rebuild needed — the shard is intact)."""
+    """Reintegration brings the target back through REBUILDING: it serves
+    no reads until the resync converges (here instantly — nothing was
+    written during the window), then the pool map flips it UP."""
     cluster, state, targets = _excluded_setup("S1")
     _exclude(cluster, state, targets[0])
     expect_data_loss(cluster, state["obj"].read(0, len(PAYLOAD)))
@@ -122,9 +123,19 @@ def test_reintegration_restores_readability():
         yield from cluster.daos.reintegrate_target(
             state["pool"].pool_map.uuid, targets[0]
         )
+        # while REBUILDING the target still serves no reads
+        yield from state["pool"].refresh_map()
+        try:
+            yield from state["obj"].read(0, len(PAYLOAD))
+        except DerDataLoss:
+            pass
+        else:
+            raise AssertionError("REBUILDING target served a read")
+        yield from cluster.daos.wait_rebuild(state["pool"].pool_map.uuid)
         yield from state["pool"].refresh_map()
 
     cluster.run(reintegrate())
+    assert state["pool"].pool_map.statuses == {}
     status, data = run_catching(cluster, state["obj"].read(0, len(PAYLOAD)))
     assert status == "ok"
     assert data.materialize() == PAYLOAD

@@ -1,0 +1,130 @@
+"""Permanent eviction (DOWNOUT): redundancy restored onto a spare.
+
+A ``permanent=True`` exclusion never comes back; the rebuild engine
+reconstructs the lost shard onto the slot's deterministic spare and the
+pool map flags the eviction ``rebuilt``, at which point the substituted
+slot serves reads again — proven here by reading with the *other*
+original group member also gone.
+"""
+
+import pytest
+
+from repro.cluster import small_cluster
+from repro.daos.oclass import oclass_by_name
+from repro.daos.placement import effective_groups
+from repro.daos.vos.payload import PatternPayload
+from repro.units import MiB
+
+PAYLOAD = PatternPayload(seed=4, origin=0, nbytes=2 * MiB)
+
+
+@pytest.mark.parametrize("oclass_name", ["RP_2G1", "EC_2P1G1"])
+def test_permanent_eviction_rebuilds_onto_spare(oclass_name):
+    cluster = small_cluster(server_nodes=2, client_nodes=1,
+                            targets_per_engine=2, seed=23)
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("evict", oclass=oclass_name)
+        oid = yield from cont.alloc_oid(oclass_by_name(oclass_name))
+        obj = cont.open_object(oid)
+        yield from obj.write(0, PAYLOAD, chunk_size=MiB)
+        group = obj.layout.targets_for_dkey(0)
+        uuid = pool.pool_map.uuid
+
+        yield from cluster.daos.exclude_target(uuid, group[0],
+                                               permanent=True)
+        query = yield from cluster.daos.wait_rebuild(uuid)
+        yield from pool.refresh_map()
+
+        # the spare substitution is deterministic and avoids the group
+        eff = effective_groups(obj.layout, pool.pool_map.downout)
+        spare = eff[0][0]
+
+        # lose the other original member too: only the spare can serve
+        yield from cluster.daos.exclude_target(uuid, group[1])
+        yield from pool.refresh_map()
+        back = yield from obj.read(0, 2 * MiB, chunk_size=MiB)
+        obj.close()
+        return query, group, spare, back.materialize()
+
+    query, group, spare, data = cluster.run(go())
+
+    status = query["targets"][group[0]]
+    assert status["state"] == "DOWNOUT"
+    assert status["rebuilt"] is True
+    assert query["up_targets"] == query["n_targets"] - 1
+    rebuild = query["rebuild"]
+    assert rebuild["status"] == "done"
+    assert rebuild["progress"] == 1.0
+    assert any(j["kind"] == "restore" for j in rebuild["jobs"])
+
+    assert spare != group[0] and spare not in group
+    assert data == PAYLOAD.materialize()
+
+
+def test_downout_target_cannot_reintegrate():
+    cluster = small_cluster(server_nodes=2, client_nodes=1,
+                            targets_per_engine=2, seed=29)
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        uuid = pool.pool_map.uuid
+        yield from cluster.daos.exclude_target(uuid, 0, permanent=True)
+        yield from cluster.daos.wait_rebuild(uuid)
+        from repro.errors import DerInval
+        try:
+            yield from cluster.daos.reintegrate_target(uuid, 0)
+        except DerInval:
+            return "refused"
+        return "accepted"
+
+    assert cluster.run(go()) == "refused"
+
+
+def test_pool_query_reports_rebuild_progress():
+    """pool_query() is the dmg-style health snapshot: version, per-target
+    states and the rebuild block stay coherent through a full cycle."""
+    cluster = small_cluster(server_nodes=2, client_nodes=1,
+                            targets_per_engine=2, seed=31)
+    client = cluster.new_client(0)
+
+    def go():
+        pool = yield from client.connect_pool("tank")
+        cont = yield from pool.create_container("q", oclass="RP_2G1")
+        oid = yield from cont.alloc_oid(oclass_by_name("RP_2G1"))
+        obj = cont.open_object(oid)
+        yield from obj.write(0, PatternPayload(seed=5, origin=0, nbytes=MiB),
+                             chunk_size=MiB)
+        group = obj.layout.targets_for_dkey(0)
+        uuid = pool.pool_map.uuid
+
+        healthy = cluster.daos.pool_query(uuid)
+        yield from cluster.daos.exclude_target(uuid, group[0])
+        down = cluster.daos.pool_query(uuid)
+        yield from cluster.daos.reintegrate_target(uuid, group[0])
+        rebuilding = cluster.daos.pool_query(uuid)
+        healed = yield from cluster.daos.wait_rebuild(uuid)
+        obj.close()
+        return healthy, down, rebuilding, healed, group[0]
+
+    healthy, down, rebuilding, healed, tid = cluster.run(go())
+
+    assert healthy["targets"] == {} and healthy["rebuild"]["status"] == "idle"
+    assert healthy["up_targets"] == healthy["n_targets"]
+
+    assert down["targets"][tid]["state"] == "DOWN"
+    assert down["up_targets"] == down["n_targets"] - 1
+    assert down["version"] > healthy["version"]
+
+    assert rebuilding["targets"][tid]["state"] == "REBUILDING"
+    assert rebuilding["rebuild"]["status"] == "busy"
+    assert rebuilding["rebuild"]["jobs_active"] == 1
+
+    assert healed["targets"] == {}
+    assert healed["up_targets"] == healed["n_targets"]
+    assert healed["rebuild"]["status"] == "done"
+    assert healed["rebuild"]["progress"] == 1.0
+    assert healed["version"] > rebuilding["version"]
