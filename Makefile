@@ -10,7 +10,8 @@ export PYTHONPATH
 CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
-.PHONY: test chaos bench bench-cache bench-rebuild trace trace-cache all
+.PHONY: test chaos bench bench-cache bench-rebuild bench-async trace \
+	trace-cache all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -35,6 +36,13 @@ bench-rebuild:
 	mkdir -p artifacts
 	$(PY) -m pytest benchmarks/bench_rebuild.py --benchmark-only \
 		--benchmark-json=artifacts/bench-rebuild.json
+
+# Async ablation alone: throughput vs event-queue depth for the
+# async-capable interfaces (DFS + native DAOS array).
+bench-async:
+	mkdir -p artifacts
+	$(PY) -m pytest benchmarks/bench_async_depth.py --benchmark-only \
+		--benchmark-json=artifacts/bench-async.json
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

@@ -1,0 +1,46 @@
+"""Event-queue depth ablation — throughput vs ``aio_queue_depth``.
+
+Series: the async-capable interfaces (DFS and the native DAOS array
+API), IOR file-per-process at one client node — the latency-bound
+regime where keeping several transfers in flight hides per-op RPC
+round trips. Depth 0 is the classic blocking loop; depth 1 must match
+it bit-exactly (the event-queue byte-identity invariant); deeper
+queues buy bandwidth until the fabric flows saturate.
+"""
+
+from conftest import run_once
+
+from repro.bench import async_depth_sweep, render_figure
+from repro.units import GiB
+
+DEPTHS = (0, 1, 2, 4, 8, 16)
+APIS = ("DFS", "DAOS")
+
+
+def test_async_queue_depth_sweep(benchmark):
+    def sweep():
+        return async_depth_sweep(depths=DEPTHS, apis=APIS)
+
+    read_fig, write_fig = run_once(benchmark, sweep)
+    print()
+    print(render_figure(write_fig))
+    print()
+    print(render_figure(read_fig))
+
+    for fig in (read_fig, write_fig):
+        for series in fig.series:
+            blocking = series.at(0)
+            # depth 1 == blocking, bit-exact (pinned more strictly in
+            # tests/eq; the sweep must reproduce it too)
+            assert series.at(1) == blocking
+            # the pipelining payoff: depth >= 4 beats blocking clearly
+            assert series.at(4) > 1.15 * blocking, (fig.name, series.label)
+            # deeper queues never fall below the blocking baseline
+            for depth in DEPTHS[2:]:
+                assert series.at(depth) >= blocking * 0.99
+
+    for series in write_fig.series:
+        print(f"{series.label}: depth-4 write "
+              f"{series.at(4) / GiB:.2f} GiB/s vs blocking "
+              f"{series.at(0) / GiB:.2f} GiB/s "
+              f"({series.at(4) / series.at(0):.2f}x)")

@@ -10,7 +10,7 @@ lines. (This is the actionable tuning recommendation of the study.)
 from conftest import run_once
 
 from repro.cluster import nextgenio
-from repro.daos.vos.payload import PatternPayload
+from repro.daos.api import PatternPayload
 from repro.dfs import Dfs
 from repro.dfuse import DFuseMount
 from repro.hdf5 import H5File, Sec2Vfd

@@ -10,7 +10,7 @@ Run:  python examples/benchio_style.py
 """
 
 from repro.cluster import nextgenio
-from repro.daos.vos.payload import PatternPayload
+from repro.daos.api import PatternPayload
 from repro.dfs import Dfs
 from repro.dfuse import DFuseMount
 from repro.mpi import MpiWorld

@@ -13,7 +13,7 @@ Run:  python examples/failure_resilience.py
 """
 
 from repro.cluster import nextgenio
-from repro.daos.oclass import RP_2G1
+from repro.daos.api import RP_2G1
 
 
 def main() -> None:

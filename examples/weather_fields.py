@@ -11,11 +11,7 @@ Run:  python examples/weather_fields.py
 """
 
 from repro.cluster import nextgenio
-from repro.daos.array import DaosArray
-from repro.daos.kv import DaosKV
-from repro.daos.objid import ObjId
-from repro.daos.oclass import S2
-from repro.daos.vos.payload import PatternPayload
+from repro.daos.api import S2, DaosArray, DaosKV, ObjId, PatternPayload
 from repro.units import MiB, fmt_bw, fmt_size
 
 GRID_BYTES = 2 * MiB  # one 2-D field, e.g. O1280 surface grid packed

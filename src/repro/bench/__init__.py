@@ -9,6 +9,7 @@ DESIGN.md §4.
 
 from repro.bench.sweep import Series, SeriesPoint, FigureData
 from repro.bench.figures import (
+    async_depth_sweep,
     cache_fpp_sweep,
     rebuild_fpp_sweep,
     fig1_fpp,
@@ -24,6 +25,7 @@ __all__ = [
     "Series",
     "SeriesPoint",
     "FigureData",
+    "async_depth_sweep",
     "cache_fpp_sweep",
     "rebuild_fpp_sweep",
     "fig1_fpp",

@@ -155,6 +155,48 @@ def cache_fpp_sweep(
     return read_fig, write_fig
 
 
+def async_depth_sweep(
+    depths: Iterable[int] = (0, 1, 2, 4, 8, 16),
+    apis: Iterable[str] = ("DFS", "DAOS"),
+    nodes: int = 1,
+    block_size="4m",
+    ppn: int = 4,
+    oclass: str = "SX",
+) -> Tuple[FigureData, FigureData]:
+    """Throughput vs event-queue depth (``aio_queue_depth``).
+
+    One series per async-capable api, file-per-process at a low client
+    count — the latency-bound regime where pipelining pays. Depth 0 is
+    the blocking loop and depth 1 must reproduce it exactly (the eq
+    byte-identity invariant), so the curve's first two points coincide
+    by construction. Returns (read, write) FigureData keyed on depth.
+    """
+    read_fig = FigureData("Async 1a", "IOR fpp: read by queue depth",
+                          "aio queue depth", "bandwidth")
+    write_fig = FigureData("Async 1b", "IOR fpp: write by queue depth",
+                           "aio queue depth", "bandwidth")
+    for api in apis:
+        label = _series_label(api)
+        read_series = Series(label)
+        write_series = Series(label)
+        for depth in depths:
+            cluster = nextgenio(client_nodes=nodes)
+            params = IorParams(
+                api=api,
+                file_per_proc=True,
+                oclass=oclass,
+                block_size=block_size,
+                transfer_size="1m",
+                aio_queue_depth=depth,
+            )
+            result = run_ior(cluster, params, ppn=ppn)
+            read_series.add(depth, result.max_read_bw)
+            write_series.add(depth, result.max_write_bw)
+        read_fig.series.append(read_series)
+        write_fig.series.append(write_series)
+    return read_fig, write_fig
+
+
 def _open_rebuild_window(cluster, window_bytes: int) -> int:
     """Exclude one replica target, write ``window_bytes`` it misses and
     reintegrate — returning with the background resync still draining, so

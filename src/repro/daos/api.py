@@ -1,0 +1,119 @@
+"""The public libdaos surface in one import (``repro.daos.api``).
+
+Applications written against the simulated store should import from
+here rather than reaching into the implementation modules — the facade
+pins the supported names the way ``daos.h``/``daos_fs.h`` pin the real
+client API, so internal reshuffles don't break example or benchmark
+code. Everything re-exported is context-manager capable (``close()`` on
+``__exit__``) down the handle chain::
+
+    from repro.daos import api as daos
+
+    with daos.DaosClient(system, node) as client:
+        # inside a sim task:
+        pool = yield from client.connect_pool("pool0")
+        cont = yield from pool.create_container("cont0", oclass="SX")
+        eq = daos.EventQueue(sim, depth=8)
+        ...
+
+The async side (:class:`EventQueue` / :class:`Event`) mirrors the
+``daos_eq_* / daos_event_*`` model; every handle exposes ``*_nb``
+variants of its data-plane calls that take the queue as their first
+argument and return an :class:`Event`.
+"""
+
+from __future__ import annotations
+
+from repro.daos.array import DaosArray
+from repro.daos.client import ContainerHandle, DaosClient, PoolHandle
+from repro.daos.eq import (
+    EV_ABORTED,
+    EV_COMPLETED,
+    EV_READY,
+    EV_RUNNING,
+    Event,
+    EventQueue,
+)
+from repro.daos.kv import DaosKV
+from repro.daos.objid import ObjId
+from repro.daos.object import ObjectHandle
+from repro.daos.oclass import (
+    EC_2P1G1,
+    EC_2P1GX,
+    EC_4P1G1,
+    RP_2G1,
+    RP_2GX,
+    RP_3G1,
+    S1,
+    S2,
+    SX,
+    ObjectClass,
+    oclass_by_name,
+)
+from repro.daos.system import DaosSystem, PoolMap
+from repro.daos.vos.payload import PatternPayload, Payload, as_payload
+from repro.errors import (
+    DaosError,
+    DerBusy,
+    DerCanceled,
+    DerDataLoss,
+    DerExist,
+    DerInval,
+    DerIsDir,
+    DerNoPerm,
+    DerNoSpace,
+    DerNonexist,
+    DerNotDir,
+    DerStale,
+    DerTimedOut,
+)
+
+__all__ = [
+    # system + handles
+    "DaosSystem",
+    "PoolMap",
+    "DaosClient",
+    "PoolHandle",
+    "ContainerHandle",
+    "ObjectHandle",
+    "DaosArray",
+    "DaosKV",
+    # async event model
+    "EventQueue",
+    "Event",
+    "EV_READY",
+    "EV_RUNNING",
+    "EV_COMPLETED",
+    "EV_ABORTED",
+    # identifiers and classes
+    "ObjId",
+    "ObjectClass",
+    "oclass_by_name",
+    "S1",
+    "S2",
+    "SX",
+    "RP_2G1",
+    "RP_2GX",
+    "RP_3G1",
+    "EC_2P1G1",
+    "EC_2P1GX",
+    "EC_4P1G1",
+    # payloads
+    "Payload",
+    "PatternPayload",
+    "as_payload",
+    # typed errors
+    "DaosError",
+    "DerBusy",
+    "DerCanceled",
+    "DerDataLoss",
+    "DerExist",
+    "DerInval",
+    "DerIsDir",
+    "DerNonexist",
+    "DerNoPerm",
+    "DerNoSpace",
+    "DerNotDir",
+    "DerStale",
+    "DerTimedOut",
+]

@@ -49,6 +49,13 @@ class DaosClient:
     def close(self) -> None:
         self.endpoint.close()
 
+    def __enter__(self) -> "DaosClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
 
 class PoolHandle:
     """A connected pool: pool map + placement."""
@@ -57,6 +64,18 @@ class PoolHandle:
         self.client = client
         self.pool_map = pool_map
         self.placement = PlacementMap(pool_map.n_targets)
+
+    def close(self) -> None:
+        """Disconnect (``daos_pool_disconnect``). The handle is purely
+        client-side state, so this only invalidates the handle."""
+        self.pool_map = None
+
+    def __enter__(self) -> "PoolHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def create_container(
         self,
@@ -164,6 +183,16 @@ class ContainerHandle:
     def open_object(self, oid: ObjId) -> ObjectHandle:
         """Open an object handle (purely client-side, like daos_obj_open)."""
         return ObjectHandle(self, oid)
+
+    def close(self) -> None:
+        """Release the handle (``daos_cont_close``); client-side only."""
+
+    def __enter__(self) -> "ContainerHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def snapshot(self) -> Generator:
         """Task helper: snapshot the container on every shard; returns a

@@ -1,0 +1,313 @@
+"""The libdaos event/event-queue model (``daos_eq_*`` / ``daos_event_*``).
+
+Every libdaos data-plane call takes an optional ``daos_event_t``; passing
+one makes the call non-blocking and the caller later reaps completions
+from the event queue with ``daos_eq_poll`` (or checks a single event with
+``daos_event_test``). This module reproduces that shape on top of the
+simulator's task machinery:
+
+- an :class:`Event` wraps one launched operation (a sim task spawned
+  from the operation's task-helper generator) and records its submit
+  and completion times;
+- an :class:`EventQueue` tracks launched events, enforces a bounded
+  in-flight window (the queue-depth knob the real client controls by
+  how many events it keeps outstanding), and reaps completions in
+  deterministic completion order.
+
+Determinism: launches and completions all travel through the simulator's
+event heap, so reap order is a pure function of the seed — two runs with
+the same seed reap the same events in the same order at the same
+simulated times. With ``depth=1`` the submit/poll cycle degenerates to
+the blocking call sequence: at most one operation is ever in flight and
+every added scheduling hop is zero-delay, so timings are identical to
+calling the blocking variants directly (pinned by ``tests/eq``).
+
+Observability: when the simulator runs observed, each event carries a
+``client.eq.event`` span covering launch-to-completion and the queue
+maintains a ``client.eq.<name>.inflight`` gauge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, List, Optional
+
+from repro.errors import DerBusy, DerCanceled, DerInval
+from repro.sim.core import Simulator, Task
+from repro.sim.sync import Condition
+
+_eq_seq = itertools.count(1)
+
+#: Event states, mirroring daos_event_t's lifecycle.
+EV_READY = "ready"        # initialised, not yet launched
+EV_RUNNING = "running"    # operation in flight
+EV_COMPLETED = "completed"  # finished (result or error held)
+EV_ABORTED = "aborted"    # cancelled before completion
+
+
+class Event:
+    """One in-flight operation's completion record (``daos_event_t``).
+
+    ``result`` re-raises the operation's error, exactly like checking
+    ``ev.ev_error`` after a reap. Events are single-shot: once reaped
+    they leave the queue, but the result stays readable.
+    """
+
+    __slots__ = (
+        "eq",
+        "eid",
+        "name",
+        "state",
+        "submit_time",
+        "complete_time",
+        "_task",
+        "_result",
+        "_error",
+        "_span",
+    )
+
+    def __init__(self, eq: "EventQueue", eid: int, name: str):
+        self.eq = eq
+        self.eid = eid
+        self.name = name
+        self.state = EV_READY
+        self.submit_time: Optional[float] = None
+        self.complete_time: Optional[float] = None
+        self._task: Optional[Task] = None
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._span = None
+
+    # ------------------------------------------------------------- queries
+    @property
+    def done(self) -> bool:
+        return self.state in (EV_COMPLETED, EV_ABORTED)
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    @property
+    def result(self) -> Any:
+        """The operation's return value; re-raises its error."""
+        if not self.done:
+            raise DerBusy(f"event {self.eid} ({self.name}) still running")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def elapsed(self) -> float:
+        """Launch-to-completion simulated seconds (0.0 until done)."""
+        if self.submit_time is None or self.complete_time is None:
+            return 0.0
+        return self.complete_time - self.submit_time
+
+    def abort(self) -> None:
+        """Cancel the in-flight operation (``daos_event_abort``).
+
+        Cooperative, like task cancellation: the operation stops at its
+        next resumption point; work already applied stays applied.
+        """
+        if self.done:
+            return
+        if self._task is not None:
+            self._task.cancel()
+        # the task's completion callback transitions us to ABORTED
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Event {self.eid} {self.name!r} {self.state}>"
+
+
+class EventQueue:
+    """A completion queue with a bounded in-flight window (``daos_eq_t``).
+
+    ``depth`` bounds how many launched events may be outstanding at
+    once; :meth:`submit` is a task helper that waits for a free slot
+    before spawning the operation, which is how IOR-style loops express
+    "keep N transfers in flight". ``depth=None`` leaves the window
+    unbounded (the real libdaos queue), matching callers that manage
+    their own pipelining.
+    """
+
+    def __init__(self, sim: Simulator, depth: Optional[int] = None,
+                 name: str = ""):
+        if depth is not None and depth < 1:
+            raise DerInval(f"event queue depth must be >= 1, got {depth}")
+        self.sim = sim
+        self.depth = depth
+        self.name = name or f"eq{next(_eq_seq)}"
+        self._next_eid = 0
+        #: events launched and not yet reaped, in completion order
+        self._completed: List[Event] = []
+        self._inflight: List[Event] = []
+        self._cond = Condition(sim)
+        self._closed = False
+
+    # ------------------------------------------------------------- state
+    @property
+    def inflight(self) -> int:
+        """Number of launched, not-yet-completed events."""
+        return len(self._inflight)
+
+    @property
+    def n_completed(self) -> int:
+        """Completed events waiting to be reaped."""
+        return len(self._completed)
+
+    def _gauge(self, delta: int) -> None:
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.gauge(f"client.eq.{self.name}.inflight").add(
+                self.sim.now, delta
+            )
+
+    # ------------------------------------------------------------- launch
+    def submit(self, op: Generator, name: str = "") -> Generator:
+        """Task helper: launch ``op`` (a task-helper generator) as a
+        non-blocking operation; returns its :class:`Event`.
+
+        Blocks (simulated) while the in-flight window is full — the
+        bounded-queue-depth behaviour a pipelined client wants. The
+        spawned operation's error is captured on the event and re-raised
+        only when the caller reads ``event.result``.
+        """
+        if self._closed:
+            raise DerInval(f"event queue {self.name} is closed")
+        while self.depth is not None and len(self._inflight) >= self.depth:
+            yield self._cond
+        return self.launch(op, name)
+
+    def launch(self, op: Generator, name: str = "") -> Event:
+        """Launch ``op`` immediately, ignoring the in-flight window
+        (``daos_event_launch``: the window is a submit-side courtesy).
+        Synchronous — usable from non-task code that will drive the
+        simulator itself."""
+        if self._closed:
+            raise DerInval(f"event queue {self.name} is closed")
+        self._next_eid += 1
+        event = Event(self, self._next_eid, name or f"op{self._next_eid}")
+        event.state = EV_RUNNING
+        event.submit_time = self.sim.now
+        tracer = self.sim.tracer
+        # parent the event span under whatever span the submitter has open
+        parent_id = tracer.current_span_id() if tracer is not None else None
+        task = self.sim.spawn(
+            self._run(event, op, parent_id), name=f"{self.name}:{event.name}"
+        )
+        # errors surface through event.result, not the fail-fast scan
+        task.defuse()
+        event._task = task
+        # catches abort-before-start: the closed task never enters _run's
+        # body, so the subscription below is what flips the event state
+        task._subscribe(lambda: self._on_task_done(event))
+        self._inflight.append(event)
+        self._gauge(+1)
+        return event
+
+    def _run(self, event: Event, op: Generator,
+             parent_id: Optional[int]) -> Generator:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            # begun inside the spawned task so the operation's own spans
+            # nest underneath without touching the submitter's stack
+            event._span = tracer.begin(
+                "client.eq.event",
+                "client",
+                parent_id=parent_id,
+                attrs={"eq": self.name, "eid": event.eid, "op": event.name},
+            )
+        try:
+            result = yield from op
+        except BaseException as exc:  # noqa: BLE001 - delivered via result
+            self._finish(event, None, exc)
+            raise
+        self._finish(event, result, None)
+        return result
+
+    def _on_task_done(self, event: Event) -> None:
+        if not event.done:
+            self._finish(
+                event, None,
+                DerCanceled(f"event {event.eid} aborted before launch"),
+            )
+
+    def _finish(self, event: Event, result: Any,
+                error: Optional[BaseException]) -> None:
+        if event.done:
+            return
+        if isinstance(error, GeneratorExit) or isinstance(error, DerCanceled):
+            event.state = EV_ABORTED
+            error = error if isinstance(error, DerCanceled) else DerCanceled(
+                f"event {event.eid} ({event.name}) aborted"
+            )
+        else:
+            event.state = EV_COMPLETED
+        event._result = result
+        event._error = error
+        event.complete_time = self.sim.now
+        tracer = self.sim.tracer
+        if tracer is not None and event._span is not None:
+            tracer.end(
+                event._span, error=type(error).__name__ if error else None
+            )
+            event._span = None
+        self._inflight.remove(event)
+        self._completed.append(event)
+        self._gauge(-1)
+        self._cond.notify_all()
+
+    # ------------------------------------------------------------- reaping
+    def test(self, event: Event) -> bool:
+        """Non-blocking single-event check (``daos_event_test``): True
+        and reaps it when complete."""
+        if not event.done:
+            return False
+        if event in self._completed:
+            self._completed.remove(event)
+        return True
+
+    def try_reap(self, max_events: Optional[int] = None) -> List[Event]:
+        """Non-blocking reap of completed events, in completion order."""
+        if max_events is None or max_events >= len(self._completed):
+            reaped, self._completed = self._completed, []
+        else:
+            reaped = self._completed[:max_events]
+            del self._completed[:max_events]
+        return reaped
+
+    def poll(self, min_events: int = 1,
+             max_events: Optional[int] = None) -> Generator:
+        """Task helper (``daos_eq_poll``): wait until at least
+        ``min_events`` completions are reapable, then reap up to
+        ``max_events`` of them in completion order."""
+        if min_events < 0:
+            raise DerInval(f"min_events must be >= 0, got {min_events}")
+        need = min(min_events, len(self._inflight) + len(self._completed))
+        while len(self._completed) < need:
+            yield self._cond
+        return self.try_reap(max_events)
+
+    def drain(self) -> Generator:
+        """Task helper: wait for every in-flight event and reap all."""
+        while self._inflight:
+            yield self._cond
+        return self.try_reap()
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> Generator:
+        """Task helper (``daos_eq_destroy``): abort anything in flight,
+        wait for the aborts to land, reap and discard."""
+        for event in list(self._inflight):
+            event.abort()
+        while self._inflight:
+            yield self._cond
+        self._completed.clear()
+        self._closed = True
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<EventQueue {self.name} depth={self.depth} "
+            f"inflight={len(self._inflight)} done={len(self._completed)}>"
+        )

@@ -68,8 +68,25 @@ class DaosKV:
         keys = yield from self.obj.list_dkeys(lo, hi, limit)
         return [k.decode("utf-8") for k in keys]
 
+    def put_nb(self, eq, key: str, value: Any) -> Generator:
+        """Task helper: launch a non-blocking put; returns its Event."""
+        return (yield from eq.submit(self.put(key, value),
+                                     name=f"kv.put:{key}"))
+
+    def get_nb(self, eq, key: str, default: Any = _MISSING) -> Generator:
+        """Task helper: launch a non-blocking get; returns its Event."""
+        return (yield from eq.submit(self.get(key, default),
+                                     name=f"kv.get:{key}"))
+
     def close(self) -> None:
         self.obj.close()
+
+    def __enter__(self) -> "DaosKV":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
 
 def _encode(key: str) -> bytes:

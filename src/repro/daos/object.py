@@ -25,6 +25,7 @@ writer keeps routing around a target that has started rebuilding.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.daos.objid import ObjId
@@ -41,6 +42,31 @@ DEFAULT_CHUNK = MiB
 
 #: a route entry: (target id actually serving the slot, readable, writable)
 Route = Tuple[int, bool, bool]
+
+
+def _legacy_flags(method: str, args: tuple, chunk_size: int, akey: bytes):
+    """Deprecation shim: ``chunk_size``/``akey`` used to be plain
+    positional parameters on the array ops; they are keyword-only now so
+    every data-plane signature reads ``(offset, ..., *, chunk_size,
+    akey)``. Old positional call sites keep working one release longer,
+    with a warning."""
+    if not args:
+        return chunk_size, akey
+    if len(args) > 2:
+        raise TypeError(
+            f"{method}() takes at most 2 trailing flags "
+            f"(chunk_size, akey); got {len(args)}"
+        )
+    warnings.warn(
+        f"passing chunk_size/akey positionally to {method}() is "
+        "deprecated; pass them as keywords",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    chunk_size = args[0]
+    if len(args) == 2:
+        akey = args[1]
+    return chunk_size, akey
 
 
 class ObjectHandle:
@@ -146,15 +172,31 @@ class ObjectHandle:
         self._streams.clear()
         self._closed = True
 
+    def __enter__(self) -> "ObjectHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
     def _retry_stale(self, attempt) -> Generator:
         """Run ``attempt()`` (a fresh generator each call); when an engine
         fences it with DER_STALE, refresh the pool map — invalidating the
-        route/stream caches keyed on its version — and retry."""
+        route/stream caches keyed on its version — and retry. Each retry
+        is counted in the metrics registry so rebuild-era reruns are
+        distinguishable from healthy ones in reports."""
         retries = self.MAX_MAP_RETRIES
         while True:
             try:
                 return (yield from attempt())
             except DerStale:
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.incr("client.der_stale.retries")
+                    metrics.incr(
+                        f"client.der_stale.{self.cont.pool.pool_map.label}"
+                        ".retries"
+                    )
                 retries -= 1
                 if retries <= 0:
                     raise
@@ -508,10 +550,14 @@ class ObjectHandle:
         self,
         offset: int,
         data,
+        *_legacy,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: write ``data`` at byte ``offset``; returns nbytes."""
+        chunk_size, akey = _legacy_flags(
+            "ObjectHandle.write", _legacy, chunk_size, akey
+        )
         payload = as_payload(data)
         if payload.nbytes == 0:
             return 0
@@ -540,10 +586,14 @@ class ObjectHandle:
         self,
         offset: int,
         length: int,
+        *_legacy,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: read ``length`` bytes (holes zero-filled)."""
+        chunk_size, akey = _legacy_flags(
+            "ObjectHandle.read", _legacy, chunk_size, akey
+        )
         if length <= 0:
             return as_payload(b"")
         ec = self.oid.oclass.is_ec
@@ -590,12 +640,73 @@ class ObjectHandle:
             out.append(batch[0] if combine is None else combine(batch))
         return concat_payloads(out)
 
-    def size(self, chunk_size: int = DEFAULT_CHUNK,
+    # ----------------------------------------------------- non-blocking ops
+    # Passing an event queue makes a data-plane call non-blocking, like
+    # handing libdaos a daos_event_t: the op launches as its own sim task
+    # and the returned Event is reaped from the queue. The submit itself
+    # is a task helper because the queue's bounded in-flight window may
+    # make the caller wait for a free slot (the queue-depth knob).
+
+    def write_nb(
+        self,
+        eq,
+        offset: int,
+        data,
+        *,
+        chunk_size: int = DEFAULT_CHUNK,
+        akey: bytes = ARRAY_AKEY,
+    ) -> Generator:
+        """Task helper: launch a non-blocking write; returns its Event."""
+        return (
+            yield from eq.submit(
+                self.write(offset, data, chunk_size=chunk_size, akey=akey),
+                name=f"obj.write@{offset}",
+            )
+        )
+
+    def read_nb(
+        self,
+        eq,
+        offset: int,
+        length: int,
+        *,
+        chunk_size: int = DEFAULT_CHUNK,
+        akey: bytes = ARRAY_AKEY,
+    ) -> Generator:
+        """Task helper: launch a non-blocking read; returns its Event."""
+        return (
+            yield from eq.submit(
+                self.read(offset, length, chunk_size=chunk_size, akey=akey),
+                name=f"obj.read@{offset}",
+            )
+        )
+
+    def put_nb(self, eq, dkey, akey, value) -> Generator:
+        """Task helper: launch a non-blocking KV put; returns its Event."""
+        return (
+            yield from eq.submit(
+                self.put(dkey, akey, value), name=f"obj.put:{dkey!r}"
+            )
+        )
+
+    def get_nb(self, eq, dkey, akey,
+               epoch: Optional[int] = None) -> Generator:
+        """Task helper: launch a non-blocking KV get; returns its Event."""
+        return (
+            yield from eq.submit(
+                self.get(dkey, akey, epoch=epoch), name=f"obj.get:{dkey!r}"
+            )
+        )
+
+    def size(self, *_legacy, chunk_size: int = DEFAULT_CHUNK,
              akey: bytes = ARRAY_AKEY) -> Generator:
         """Task helper: apparent array size (max written byte + 1).
 
         Non-EC: a size query per layout group leader. EC: a query per
         readable *data* shard (cell positions map back to file offsets)."""
+        chunk_size, akey = _legacy_flags(
+            "ObjectHandle.size", _legacy, chunk_size, akey
+        )
         oclass = self.oid.oclass
         high = 0
         for route in self._routes():
@@ -642,10 +753,14 @@ class ObjectHandle:
         self,
         offset: int,
         length: int,
+        *_legacy,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: punch bytes [offset, offset+length)."""
+        chunk_size, akey = _legacy_flags(
+            "ObjectHandle.punch_range", _legacy, chunk_size, akey
+        )
         return (
             yield from self._retry_stale(
                 lambda: self._punch_range_once(offset, length, chunk_size, akey)

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import DerDataLoss, DerTimedOut
 from repro.network.flows import Flow
+from repro.sim.sync import Gate
 
 
 class IoPiece:
@@ -40,6 +41,17 @@ class IoPiece:
         self.tid = tid
         self.nbytes = nbytes
         self.apply_fn = apply_fn
+
+
+class _Batch:
+    """Bytes from concurrent ops coalesced into one wire transfer."""
+
+    __slots__ = ("nbytes", "ops", "gate")
+
+    def __init__(self, sim):
+        self.nbytes = 0
+        self.ops = 0
+        self.gate = Gate(sim)
 
 
 class IoStream:
@@ -57,6 +69,14 @@ class IoStream:
         self.targets = list(targets)
         self._flow: Optional[Flow] = None
         self._last_target: Optional[int] = None
+        #: batch accumulating while the wire is busy (None when idle)
+        self._pending: Optional[_Batch] = None
+        #: task draining batches onto the flow (None when idle)
+        self._pump_task = None
+        #: ops currently inside :meth:`io` (pipelined handles overlap them)
+        self._active = 0
+        #: close() arrived while ops/pump were still running
+        self._close_deferred = False
 
     # ------------------------------------------------------------- lifecycle
     def open(self) -> None:
@@ -88,13 +108,76 @@ class IoStream:
         )
 
     def close(self) -> None:
+        """Release the flow. Deferred while pipelined ops are still in
+        flight (a concurrent op refreshing the pool map must not stall a
+        sibling's transfer forever): the last finisher closes."""
+        if self._active > 0 or self._pump_task is not None:
+            self._close_deferred = True
+            return
+        self._really_close()
+
+    def _really_close(self) -> None:
+        self._close_deferred = False
         if self._flow is not None:
             self.client.fabric.flownet.close(self._flow)
             self._flow = None
 
+    def _maybe_close(self) -> None:
+        if (
+            self._close_deferred
+            and self._active == 0
+            and self._pump_task is None
+        ):
+            self._really_close()
+
     @property
     def rate(self) -> float:
         return self._flow.rate if self._flow is not None else 0.0
+
+    # ------------------------------------------------------------- bulk wire
+    def _bulk(self, nbytes: int) -> Generator:
+        """Task helper: move ``nbytes`` over the stream's flow.
+
+        Concurrent ops on one stream coalesce: while a wire transfer is
+        in flight, arriving ops pool their bytes into the next batch and
+        a single pump issues one flow transfer per batch — pipelined
+        handles get batched wire transfers instead of a per-op round
+        trip (and never multiply the flow's bandwidth by issuing
+        parallel transfers on it). With one op in flight the batch is
+        that op alone and timing matches the direct transfer exactly.
+        """
+        if nbytes <= 0:
+            return
+        if self._pending is None:
+            self._pending = _Batch(self.sim)
+        batch = self._pending
+        batch.nbytes += nbytes
+        batch.ops += 1
+        if self._pump_task is None:
+            self._pump_task = self.sim.spawn(
+                self._pump(), name=f"pump:{self.client.name}:{self.direction}"
+            )
+        yield batch.gate
+
+    def _pump(self) -> Generator:
+        metrics = self.sim.metrics
+        while self._pending is not None:
+            batch = self._pending
+            self._pending = None
+            if metrics is not None:
+                metrics.incr(f"client.stream.{self.direction}.batches")
+                metrics.incr(
+                    f"client.stream.{self.direction}.batched_ops", batch.ops
+                )
+                if batch.ops > 1:
+                    metrics.incr(
+                        f"client.stream.{self.direction}.coalesced_bytes",
+                        batch.nbytes,
+                    )
+            yield self._flow.transfer(batch.nbytes)
+            batch.gate.open(self.sim.now)
+        self._pump_task = None
+        self._maybe_close()
 
     # ------------------------------------------------------------- one op
     def io(self, pieces: List[IoPiece], context, map_version=None) -> Generator:
@@ -109,6 +192,15 @@ class IoStream:
         """
         if self._flow is None:
             self.open()
+        self._active += 1
+        try:
+            return (yield from self._io_once(pieces, context, map_version))
+        finally:
+            self._active -= 1
+            self._maybe_close()
+
+    def _io_once(self, pieces: List[IoPiece], context,
+                 map_version=None) -> Generator:
         fabric = self.client.fabric
         node_spec = self.client.node.spec
         rtt = 2.0 * (fabric.base_latency + 2 * fabric.software_overhead)
@@ -169,7 +261,7 @@ class IoStream:
             if overhead > 0:
                 yield overhead
             if total > 0:
-                yield self._flow.transfer(total)
+                yield from self._bulk(total)
             return [piece.apply_fn() for piece in pieces]
 
         # Traced variant: same yields, with the op decomposed into its
@@ -191,7 +283,7 @@ class IoStream:
                     "direction": self.direction,
                 },
             ):
-                yield self._flow.transfer(total)
+                yield from self._bulk(total)
         results = []
         for piece in pieces:
             ref = self.system.target(piece.tid)

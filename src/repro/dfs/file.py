@@ -134,6 +134,26 @@ class DfsFile:
             yield from self.flush()
         return payload.nbytes
 
+    def write_nb(self, eq, offset: int, data) -> Generator:
+        """Task helper: launch a non-blocking write through ``eq`` (the
+        DFS analogue of passing a daos_event_t); returns its Event. The
+        bounded in-flight window of the queue provides the pipelining
+        depth; reap with ``eq.poll()``/``eq.test()``."""
+        return (
+            yield from eq.submit(
+                self.write(offset, data), name=f"dfs.write@{offset}"
+            )
+        )
+
+    def read_nb(self, eq, offset: int, length: int) -> Generator:
+        """Task helper: launch a non-blocking read through ``eq``;
+        returns its Event (result is the payload once reaped)."""
+        return (
+            yield from eq.submit(
+                self.read(offset, length), name=f"dfs.read@{offset}"
+            )
+        )
+
     def _commit(self, offset: int, payload: Payload) -> Generator:
         """Issue one coalesced store write on behalf of the flusher."""
         with self._span(
@@ -305,3 +325,10 @@ class DfsFile:
             raise CacheWritebackError(self.path, self.wb.pending(), cause)
         self.obj.close()
         self._closed = True
+
+    def __enter__(self) -> "DfsFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

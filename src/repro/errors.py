@@ -106,6 +106,12 @@ class DerTimedOut(DaosError):
     code = "DER_TIMEDOUT"
 
 
+class DerCanceled(DaosError):
+    """Operation aborted before completion (``daos_event_abort``)."""
+
+    code = "DER_CANCELED"
+
+
 class DerStale(DaosError):
     """Client pool-map version is older than the server's.
 

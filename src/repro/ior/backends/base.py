@@ -11,6 +11,10 @@ class Backend:
     """Per-rank I/O interface. All methods are task helpers."""
 
     name = "?"
+    #: whether write/read ops on one handle may run concurrently (the
+    #: event-queue pipelining path); blocking-only backends leave this
+    #: False and the runner keeps its classic one-at-a-time loop
+    supports_async = False
 
     def __init__(self, params: IorParams, ctx, storage):
         self.params = params
@@ -37,6 +41,46 @@ class Backend:
         """Best-effort cleanup between repetitions (unused by default)."""
         yield 0.0
         return None
+
+    # -------------------------------------------------- async (event queue)
+    def write_nb(self, eq, handle, offset: int, payload,
+                 repetition: int = 0) -> Generator:
+        """Task helper: launch the write on event queue ``eq`` (blocking
+        while its in-flight window is full); returns the Event."""
+        if not self.supports_async:
+            raise NotImplementedError(f"{self.name} backend is blocking-only")
+        op = self._spanned_op(
+            "ior.write", repetition, offset, self.write(handle, offset, payload)
+        )
+        return (yield from eq.submit(op, name=f"{self.name}.write@{offset}"))
+
+    def read_nb(self, eq, handle, offset: int, nbytes: int,
+                repetition: int = 0) -> Generator:
+        """Task helper: launch the read on event queue ``eq``; returns
+        the Event (result is the payload once reaped)."""
+        if not self.supports_async:
+            raise NotImplementedError(f"{self.name} backend is blocking-only")
+        op = self._spanned_op(
+            "ior.read", repetition, offset, self.read(handle, offset, nbytes)
+        )
+        return (yield from eq.submit(op, name=f"{self.name}.read@{offset}"))
+
+    def _spanned_op(self, name: str, repetition: int, offset: int,
+                    op: Generator) -> Generator:
+        """Wrap ``op`` in an ior-layer span opened inside the event's own
+        task, so the operation's spans nest under it (the tracer keeps
+        per-task span stacks — the submitter's stack must stay clean)."""
+        tracer = self.ctx.sim.tracer
+        if tracer is None:
+            return (yield from op)
+        with tracer.span(
+            name,
+            "ior",
+            node=self.ctx.node.name,
+            attrs={"rank": self.ctx.rank, "rep": repetition,
+                   "offset": offset, "nb": True},
+        ):
+            return (yield from op)
 
 
 def make_backend(params: IorParams, ctx, storage) -> Backend:

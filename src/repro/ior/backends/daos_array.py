@@ -25,6 +25,9 @@ CATALOG_LO = 2
 
 class DaosArrayBackend(Backend):
     name = "DAOS"
+    # daos_array_write/read take a daos_event_t; concurrent ops on one
+    # array pipeline through the object layer's coalescing streams
+    supports_async = True
 
     def _catalog(self) -> DaosKV:
         return DaosKV.open(self.storage.cont, ObjId.generate(S1, lo=CATALOG_LO))

@@ -9,6 +9,10 @@ from repro.ior.backends.base import Backend
 
 class DfsBackend(Backend):
     name = "DFS"
+    # concurrent ops on one DfsFile are safe in the uncached build: each
+    # write/read is an independent object-layer op and the IoStream
+    # coalesces concurrent transfers into batched wire transfers
+    supports_async = True
 
     def open(self, path: str, create: bool) -> Generator:
         dfs = self.storage.dfs

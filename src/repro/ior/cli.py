@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="client-side caching tier (DAOS only): data "
                              "page cache + attr/dentry TTLs (readonly), "
                              "plus write-behind aggregation (writeback)")
+    parser.add_argument("--aio-depth", type=int, default=0, metavar="N",
+                        help="async event-queue depth: keep up to N "
+                             "transfers in flight per rank (0 = blocking "
+                             "loop; >1 needs the DFS or DAOS api)")
     parser.add_argument("--seed", type=int, default=0xDA05)
     # observability
     parser.add_argument("--trace-out", metavar="PATH",
@@ -93,6 +97,7 @@ def params_from_args(args) -> IorParams:
         oclass=options.get("oclass"),
         chunk_size=options.get("chunk_size", "1m"),
         cache_mode=getattr(args, "cache_mode", "none"),
+        aio_queue_depth=getattr(args, "aio_depth", 0),
     )
 
 

@@ -49,6 +49,12 @@ class IorParams:
     #: client-side caching tier: none | readonly | writeback
     #: (dfuse --enable-caching / --enable-wb-cache analogue)
     cache_mode: str = "none"
+    #: async I/O queue depth (the daos_event_t / event-queue dimension):
+    #: 0 = the classic blocking loop, one transfer at a time; N >= 1
+    #: routes each transfer through an event queue that keeps up to N
+    #: operations in flight per rank. Depth 1 reproduces the blocking
+    #: timings exactly; depth > 1 needs an async-capable api (DFS, DAOS).
+    aio_queue_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.api not in APIS:
@@ -74,6 +80,18 @@ class IorParams:
             raise ValueError("collective I/O requires the MPIIO or HDF5 api")
         if self.interleaved and self.file_per_proc:
             raise ValueError("interleaved layout applies to shared files")
+        if self.aio_queue_depth < 0:
+            raise ValueError("aio_queue_depth must be >= 0")
+        if self.aio_queue_depth > 1 and self.api not in ("DFS", "DAOS"):
+            raise ValueError(
+                "async pipelining (aio_queue_depth > 1) requires the DFS "
+                f"or DAOS api, got {self.api}"
+            )
+        if self.aio_queue_depth > 1 and self.cache_mode != "none":
+            raise ValueError(
+                "async pipelining bypasses the caching tier; use "
+                "cache_mode='none' with aio_queue_depth > 1"
+            )
 
     @property
     def transfers_per_block(self) -> int:
@@ -130,4 +148,6 @@ class IorParams:
             parts.append("-R")
         if self.cache_mode != "none":
             parts.append(f"--cache-mode {self.cache_mode}")
+        if self.aio_queue_depth > 0:
+            parts.append(f"--aio-depth {self.aio_queue_depth}")
         return " ".join(parts)

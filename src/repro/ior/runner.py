@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, List, Optional
 
 from repro.cluster.builder import Cluster, LustreCluster
+from repro.daos.eq import EventQueue
 from repro.ior.backends import make_backend
 from repro.ior.config import IorParams
 from repro.ior.env import DaosIorEnv, LustreIorEnv, RankStorage
@@ -114,6 +115,20 @@ def _ior_op_span(ctx, name: str, repetition: int, offset: int):
     )
 
 
+def _use_async(params: IorParams, backend) -> bool:
+    return params.aio_queue_depth > 0 and backend.supports_async
+
+
+def _reap(ctx, op: str, event) -> None:
+    """Account one reaped event; re-raises the operation's error, which
+    is when a failed async op surfaces (like checking ``ev.ev_error``)."""
+    event.result
+    metrics = ctx.sim.metrics
+    if metrics is not None:
+        metrics.observe(f"ior.rank{ctx.rank}.{op}.latency", event.elapsed)
+        metrics.observe(f"ior.{op}.latency", event.elapsed)
+
+
 def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
     path = params.file_path(ctx.rank)
     sim = ctx.sim
@@ -121,17 +136,22 @@ def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
     handle = yield from backend.open(path, create=True)
     yield from ctx.barrier()
     start = sim.now
-    for segment in range(params.segments):
-        for transfer in range(params.transfers_per_block):
-            offset = params.offset(ctx.size, ctx.rank, segment, transfer)
-            payload = make_payload(path, offset, params.transfer_size)
-            op_start = sim.now
-            with _ior_op_span(ctx, "ior.write", repetition, offset):
-                yield from backend.write(handle, offset, payload)
-            if metrics is not None:
-                elapsed = sim.now - op_start
-                metrics.observe(f"ior.rank{ctx.rank}.write.latency", elapsed)
-                metrics.observe("ior.write.latency", elapsed)
+    if _use_async(params, backend):
+        yield from _pipelined_write(ctx, params, backend, handle, repetition)
+    else:
+        for segment in range(params.segments):
+            for transfer in range(params.transfers_per_block):
+                offset = params.offset(ctx.size, ctx.rank, segment, transfer)
+                payload = make_payload(path, offset, params.transfer_size)
+                op_start = sim.now
+                with _ior_op_span(ctx, "ior.write", repetition, offset):
+                    yield from backend.write(handle, offset, payload)
+                if metrics is not None:
+                    elapsed = sim.now - op_start
+                    metrics.observe(
+                        f"ior.rank{ctx.rank}.write.latency", elapsed
+                    )
+                    metrics.observe("ior.write.latency", elapsed)
     if params.fsync:
         yield from backend.fsync(handle)
     yield from backend.close(handle)
@@ -142,6 +162,27 @@ def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
         seconds=end - start,
         nbytes=params.total_bytes(ctx.size),
     )
+
+
+def _pipelined_write(ctx, params: IorParams, backend, handle,
+                     repetition: int) -> Generator:
+    """Async write loop: keep up to ``aio_queue_depth`` transfers in
+    flight through an event queue, reaping completions opportunistically
+    and draining the tail before the phase's fsync/close."""
+    path = params.file_path(ctx.rank)
+    eq = EventQueue(ctx.sim, depth=params.aio_queue_depth,
+                    name=f"ior.r{ctx.rank}.w{repetition}")
+    for segment in range(params.segments):
+        for transfer in range(params.transfers_per_block):
+            offset = params.offset(ctx.size, ctx.rank, segment, transfer)
+            payload = make_payload(path, offset, params.transfer_size)
+            yield from backend.write_nb(eq, handle, offset, payload,
+                                        repetition)
+            for event in eq.try_reap():
+                _reap(ctx, "write", event)
+    for event in (yield from eq.drain()):
+        _reap(ctx, "write", event)
+    return None
 
 
 def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
@@ -155,23 +196,31 @@ def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
     metrics = sim.metrics
     yield from ctx.barrier()
     start = sim.now
-    for segment in range(params.segments):
-        for transfer in range(params.transfers_per_block):
-            offset = params.offset(ctx.size, read_rank, segment, transfer)
-            op_start = sim.now
-            with _ior_op_span(ctx, "ior.read", repetition, offset):
-                payload = yield from backend.read(
-                    handle, offset, params.transfer_size
-                )
-            if metrics is not None:
-                elapsed = sim.now - op_start
-                metrics.observe(f"ior.rank{ctx.rank}.read.latency", elapsed)
-                metrics.observe("ior.read.latency", elapsed)
-            if params.verify:
-                if payload.nbytes != params.transfer_size or not verify_payload(
-                    path, offset, payload
-                ):
-                    errors += 1
+    if _use_async(params, backend):
+        errors = yield from _pipelined_read(
+            ctx, params, backend, handle, repetition, read_rank, path
+        )
+    else:
+        for segment in range(params.segments):
+            for transfer in range(params.transfers_per_block):
+                offset = params.offset(ctx.size, read_rank, segment, transfer)
+                op_start = sim.now
+                with _ior_op_span(ctx, "ior.read", repetition, offset):
+                    payload = yield from backend.read(
+                        handle, offset, params.transfer_size
+                    )
+                if metrics is not None:
+                    elapsed = sim.now - op_start
+                    metrics.observe(
+                        f"ior.rank{ctx.rank}.read.latency", elapsed
+                    )
+                    metrics.observe("ior.read.latency", elapsed)
+                if params.verify:
+                    if (
+                        payload.nbytes != params.transfer_size
+                        or not verify_payload(path, offset, payload)
+                    ):
+                        errors += 1
     yield from backend.close(handle)
     end = yield from ctx.allreduce(ctx.sim.now, op=max)
     total_errors = yield from ctx.allreduce(errors, op=lambda a, b: a + b)
@@ -182,3 +231,38 @@ def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
         nbytes=params.total_bytes(ctx.size),
         verify_errors=total_errors,
     )
+
+
+def _pipelined_read(ctx, params: IorParams, backend, handle,
+                    repetition: int, read_rank: int, path: str) -> Generator:
+    """Async read loop; verification happens at reap time, once the
+    payload is available on the event."""
+    eq = EventQueue(ctx.sim, depth=params.aio_queue_depth,
+                    name=f"ior.r{ctx.rank}.r{repetition}")
+    offsets = {}
+    errors = 0
+
+    def check(event) -> int:
+        _reap(ctx, "read", event)
+        offset = offsets.pop(event.eid)
+        if not params.verify:
+            return 0
+        payload = event.result
+        if payload.nbytes != params.transfer_size or not verify_payload(
+            path, offset, payload
+        ):
+            return 1
+        return 0
+
+    for segment in range(params.segments):
+        for transfer in range(params.transfers_per_block):
+            offset = params.offset(ctx.size, read_rank, segment, transfer)
+            event = yield from backend.read_nb(
+                eq, handle, offset, params.transfer_size, repetition
+            )
+            offsets[event.eid] = offset
+            for done in eq.try_reap():
+                errors += check(done)
+    for done in (yield from eq.drain()):
+        errors += check(done)
+    return errors

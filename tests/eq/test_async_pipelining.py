@@ -1,0 +1,85 @@
+"""End-to-end async pipelining through IOR (``aio_queue_depth``).
+
+Acceptance bars from the event-queue work:
+
+- depth 1 is *byte-identical* to the blocking loop — the pinned DFS FPP
+  seed figure must come out bit-exact through the async machinery;
+- any depth is deterministic: same seed, same depth => identical
+  bandwidths, including reap order (checked via verify which consumes
+  results at reap time);
+- depth >= 4 measurably improves the fig-1 DFS write point at low
+  client counts (the pipelining payoff the knob exists for).
+"""
+
+import pytest
+
+from repro.cluster import nextgenio
+from repro.ior import IorParams, run_ior
+
+#: the (DFS, file_per_proc) seed figure pinned in
+#: tests/cache/test_cache_determinism.py — same cluster, same params
+DFS_FPP_SEED = (6142348807.511658, 4306533837.826945)
+
+
+def run_point(api="DFS", depth=0, verify=False, ppn=4):
+    cluster = nextgenio(client_nodes=1)
+    params = IorParams(
+        api=api,
+        file_per_proc=True,
+        oclass="SX",
+        block_size="4m",
+        transfer_size="1m",
+        aio_queue_depth=depth,
+        verify=verify,
+    )
+    result = run_ior(cluster, params, ppn=ppn)
+    return result
+
+
+def test_depth_one_byte_identical_to_blocking_seed_figure():
+    result = run_point(depth=1)
+    assert (result.max_write_bw, result.max_read_bw) == DFS_FPP_SEED
+
+
+def test_depth_one_matches_blocking_daos_api():
+    blocking = run_point(api="DAOS", depth=0)
+    async_one = run_point(api="DAOS", depth=1)
+    assert (blocking.max_write_bw, blocking.max_read_bw) == (
+        async_one.max_write_bw,
+        async_one.max_read_bw,
+    )
+
+
+@pytest.mark.parametrize("api", ["DFS", "DAOS"])
+def test_depth_eight_deterministic(api):
+    first = run_point(api=api, depth=8, verify=True)
+    second = run_point(api=api, depth=8, verify=True)
+    assert (first.max_write_bw, first.max_read_bw) == (
+        second.max_write_bw,
+        second.max_read_bw,
+    )
+    assert first.verify_errors == 0
+    assert second.verify_errors == 0
+
+
+def test_depth_four_improves_dfs_fpp_write_bandwidth():
+    blocking = run_point(depth=0)
+    pipelined = run_point(depth=4)
+    assert pipelined.max_write_bw > 1.2 * blocking.max_write_bw
+
+
+def test_verification_passes_at_depth():
+    result = run_point(depth=4, verify=True)
+    assert result.verify_errors == 0
+
+
+def test_blocking_backends_reject_deep_queue():
+    with pytest.raises(ValueError):
+        IorParams(api="POSIX", aio_queue_depth=4)
+
+
+def test_depth_one_on_blocking_backend_falls_back():
+    # depth 1 is legal everywhere; non-async backends keep the classic
+    # loop, which depth 1 is defined to be equivalent to anyway
+    result = run_point(api="POSIX", depth=1)
+    assert result.max_write_bw > 0

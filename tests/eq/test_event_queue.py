@@ -1,0 +1,214 @@
+"""Unit tests for the event/event-queue model (``repro.daos.eq``).
+
+Pure-simulator tests: operations are plain task generators with known
+delays, so lifecycle, windowing and reap-order claims are checked
+without booting a storage stack.
+"""
+
+import pytest
+
+from repro.daos.eq import (
+    EV_ABORTED,
+    EV_COMPLETED,
+    EV_RUNNING,
+    EventQueue,
+)
+from repro.errors import DerBusy, DerCanceled, DerInval
+from repro.sim import Simulator
+
+
+def op(sim, delay, value=None, record=None):
+    """A fake data-plane op: sleep ``delay``, optionally log, return."""
+
+    def gen():
+        yield delay
+        if record is not None:
+            record.append((sim.now, value))
+        return value
+
+    return gen()
+
+
+def run_task(sim, gen):
+    task = sim.spawn(gen)
+    sim.run()
+    assert task.done
+    if task.error is not None:
+        raise task.error
+    return task.result
+
+
+# ---------------------------------------------------------------- lifecycle
+def test_launch_completes_and_holds_result():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    event = eq.launch(op(sim, 1.5, "payload"), name="w0")
+    assert event.state == EV_RUNNING
+    assert not event.done
+    with pytest.raises(DerBusy):
+        event.result
+    sim.run()
+    assert event.state == EV_COMPLETED
+    assert event.result == "payload"
+    assert event.submit_time == 0.0
+    assert event.complete_time == 1.5
+    assert event.elapsed == 1.5
+
+
+def test_test_reaps_a_single_event():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    event = eq.launch(op(sim, 1.0))
+    assert eq.test(event) is False
+    sim.run()
+    assert eq.n_completed == 1
+    assert eq.test(event) is True
+    assert eq.n_completed == 0  # reaped
+    assert eq.test(event) is True  # idempotent once done
+
+
+def test_poll_reaps_in_completion_order():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    slow = eq.launch(op(sim, 3.0, "slow"))
+    fast = eq.launch(op(sim, 1.0, "fast"))
+    mid = eq.launch(op(sim, 2.0, "mid"))
+
+    def reaper():
+        events = yield from eq.poll(min_events=3)
+        return events
+
+    reaped = run_task(sim, reaper())
+    assert reaped == [fast, mid, slow]
+    assert [e.result for e in reaped] == ["fast", "mid", "slow"]
+
+
+def test_poll_min_events_waits_only_for_that_many():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    eq.launch(op(sim, 1.0))
+    eq.launch(op(sim, 50.0))
+
+    def reaper():
+        events = yield from eq.poll(min_events=1)
+        return sim.now, len(events)
+
+    now, n = run_task(sim, reaper())
+    assert (now, n) == (1.0, 1)
+
+
+def test_error_surfaces_on_result_not_at_launch():
+    sim = Simulator()
+    eq = EventQueue(sim)
+
+    def bad():
+        yield 1.0
+        raise DerInval("broken op")
+
+    event = eq.launch(bad())
+    sim.run()  # must not raise: the error is delivered via the event
+    assert event.state == EV_COMPLETED
+    assert isinstance(event.error, DerInval)
+    with pytest.raises(DerInval):
+        event.result
+
+
+def test_abort_cancels_and_marks_aborted():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    record = []
+    event = eq.launch(op(sim, 5.0, "x", record))
+    event.abort()
+    sim.run()
+    assert event.state == EV_ABORTED
+    assert record == []  # op never reached its completion point
+    with pytest.raises(DerCanceled):
+        event.result
+
+
+def test_close_aborts_everything_in_flight():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    events = [eq.launch(op(sim, float(i + 1))) for i in range(4)]
+
+    def closer():
+        yield from eq.close()
+
+    run_task(sim, closer())
+    assert all(e.state == EV_ABORTED for e in events)
+    assert eq.inflight == 0
+    with pytest.raises(DerInval):
+        eq.launch(op(sim, 1.0))
+
+
+# ------------------------------------------------------------------ window
+def test_submit_enforces_inflight_window():
+    sim = Simulator()
+    eq = EventQueue(sim, depth=2)
+    peaks = []
+
+    def submitter():
+        for i in range(6):
+            yield from eq.submit(op(sim, 1.0, i))
+            peaks.append(eq.inflight)
+        yield from eq.drain()
+
+    run_task(sim, submitter())
+    assert max(peaks) <= 2
+
+
+def test_depth_one_serializes():
+    sim = Simulator()
+    eq = EventQueue(sim, depth=1)
+    record = []
+
+    def submitter():
+        for i in range(3):
+            yield from eq.submit(op(sim, 1.0, i, record))
+        yield from eq.drain()
+
+    run_task(sim, submitter())
+    # one at a time: completions at 1.0, 2.0, 3.0 — the blocking cadence
+    assert record == [(1.0, 0), (2.0, 1), (3.0, 2)]
+
+
+def test_unbounded_depth_runs_all_concurrently():
+    sim = Simulator()
+    eq = EventQueue(sim)
+    record = []
+
+    def submitter():
+        for i in range(3):
+            yield from eq.submit(op(sim, 1.0, i, record))
+        yield from eq.drain()
+
+    run_task(sim, submitter())
+    assert [t for t, _ in record] == [1.0, 1.0, 1.0]
+
+
+def test_bad_depth_rejected():
+    sim = Simulator()
+    with pytest.raises(DerInval):
+        EventQueue(sim, depth=0)
+
+
+# ------------------------------------------------------------- determinism
+def test_reap_order_is_seed_deterministic():
+    def one_run():
+        sim = Simulator()
+        eq = EventQueue(sim, depth=4)
+        order = []
+
+        def submitter():
+            # staggered delays so completions interleave across the window
+            for i in range(12):
+                yield from eq.submit(op(sim, ((i * 7) % 5 + 1) * 0.25, i))
+                for e in eq.try_reap():
+                    order.append((e.name, sim.now))
+            for e in (yield from eq.drain()):
+                order.append((e.name, sim.now))
+
+        run_task(sim, submitter())
+        return order
+
+    assert one_run() == one_run()
