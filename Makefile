@@ -10,8 +10,8 @@ export PYTHONPATH
 CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
-.PHONY: test chaos bench bench-cache bench-rebuild bench-async trace \
-	trace-cache all
+.PHONY: test chaos bench bench-cache bench-rebuild bench-async \
+	bench-flows trace trace-cache all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -43,6 +43,15 @@ bench-async:
 	mkdir -p artifacts
 	$(PY) -m pytest benchmarks/bench_async_depth.py --benchmark-only \
 		--benchmark-json=artifacts/bench-async.json
+
+# Flow-solver throughput: churn scenarios + the 16x16 figure point under
+# both solvers. Writes artifacts/BENCH_flows.json and gates against the
+# committed baseline benchmarks/BENCH_flows.json (>20% normalized
+# ops/sec regression, byte-identity, solver-speedup floor).
+bench-flows:
+	mkdir -p artifacts
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_flows.py \
+		--out artifacts/BENCH_flows.json --check
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

@@ -6,6 +6,7 @@ paper-scale sweep (1..16 nodes, 64 MiB blocks) used to fill
 EXPERIMENTS.md — or run ``python benchmarks/run_figures.py --full``.
 """
 
+import json
 import os
 import sys
 
@@ -29,3 +30,60 @@ def bench_scale():
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# -- flow-solver perf gate (bench_flows.py / make bench-flows) ---------------
+
+#: committed baseline artifact; regenerate with
+#:   python benchmarks/bench_flows.py --out benchmarks/BENCH_flows.json
+FLOWS_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_flows.json"
+)
+
+#: fail the gate when normalized incremental-solver ops/sec drops more
+#: than this fraction below the committed baseline
+FLOWS_REGRESSION_THRESHOLD = 0.20
+
+
+def load_flows_baseline(path: str = FLOWS_BASELINE_PATH) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def check_flows_regression(current: dict, baseline: dict) -> list:
+    """Compare a fresh bench_flows run against the committed baseline.
+
+    Raw ops/sec is machine-dependent, so the gate compares each
+    scenario's incremental/reference *speedup ratio*: the reference
+    solver is frozen by definition (it is the oracle — its arithmetic
+    may never change), which makes it a workload-matched calibrator
+    measured on the same machine seconds apart.  A drop in the ratio
+    means the incremental solver itself got slower.  Returns a list of
+    human-readable failure strings (empty = gate passed).
+    """
+    failures = []
+    floor = 1.0 - FLOWS_REGRESSION_THRESHOLD
+    for name, base_cell in baseline["scenarios"].items():
+        cur_cell = current["scenarios"].get(name)
+        if cur_cell is None:
+            failures.append(f"scenario {name!r} missing from current run")
+            continue
+        base_ratio = base_cell["speedup"]
+        cur_ratio = cur_cell["speedup"]
+        if cur_ratio < base_ratio * floor:
+            failures.append(
+                f"scenario {name!r}: incremental/reference ops ratio "
+                f"{cur_ratio:.2f}x is below {floor:.0%} of baseline "
+                f"{base_ratio:.2f}x"
+            )
+    point = current.get("figure_point", {})
+    if not point.get("byte_identical", False):
+        failures.append("figure point: solvers no longer byte-identical")
+    # solver_speedup is a same-machine ratio; 4x is the acceptance floor
+    # (>= 5x) minus CI-noise margin
+    if point.get("solver_speedup", 0.0) < 4.0:
+        failures.append(
+            f"figure point: solver speedup {point.get('solver_speedup')}x "
+            "fell below the 4x floor"
+        )
+    return failures

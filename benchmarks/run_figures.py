@@ -7,14 +7,21 @@ Usage::
     python benchmarks/run_figures.py --full          # paper scale
     python benchmarks/run_figures.py --figure 1a     # one panel
     python benchmarks/run_figures.py --contrast      # the §IV claim
+    python benchmarks/run_figures.py --nodes 16,32,64 --figure 1b
+    python benchmarks/run_figures.py --solver reference  # oracle solver
 
 The full sweep (1..16 client nodes x 16 ppn, 64 MiB blocks) regenerates
-the exact series reported in EXPERIMENTS.md.
+the exact series reported in EXPERIMENTS.md.  ``--nodes`` overrides the
+node-count axis with an explicit comma-separated list; with the default
+incremental flow solver, sweeps up to 64-128 client nodes finish in
+minutes (the reference solver is quadratic in flow count — pick it only
+to cross-check a point).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -39,6 +46,12 @@ def main(argv=None) -> int:
     parser.add_argument("--contrast", action="store_true",
                         help="also run the DAOS-vs-Lustre contrast")
     parser.add_argument("--ppn", type=int, default=16)
+    parser.add_argument("--nodes", metavar="N,N,...",
+                        help="explicit client-node counts for the sweep "
+                             "axis, e.g. 8,16,32,64 (overrides --full)")
+    parser.add_argument("--solver", choices=["incremental", "reference"],
+                        help="flow-solver engine (default: incremental, "
+                             "or $REPRO_FLOW_SOLVER)")
     parser.add_argument("--trace-out", metavar="PATH",
                         help="run ONE instrumented fig-1 point instead of "
                              "the sweep and write its Chrome trace JSON")
@@ -51,7 +64,22 @@ def main(argv=None) -> int:
                         help="client cache mode for the instrumented point")
     args = parser.parse_args(argv)
 
+    if args.solver:
+        # catch-all for code paths without an explicit flow_solver
+        # parameter (the traced point, the Lustre contrast)
+        os.environ["REPRO_FLOW_SOLVER"] = args.solver
+
     node_counts = FULL_NODE_COUNTS if args.full else QUICK_NODE_COUNTS
+    if args.nodes:
+        try:
+            node_counts = tuple(
+                int(n) for n in args.nodes.split(",") if n.strip()
+            )
+        except ValueError:
+            parser.error(f"--nodes expects a comma-separated list of "
+                         f"integers, got {args.nodes!r}")
+        if not node_counts or any(n < 1 for n in node_counts):
+            parser.error("--nodes counts must be positive integers")
     block = "64m" if args.full else "16m"
 
     t0 = time.time()
@@ -73,13 +101,15 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 0
     if args.figure in ("1a", "1b", "all"):
-        fig1a, fig1b = fig1_fpp(node_counts, block, args.ppn)
+        fig1a, fig1b = fig1_fpp(node_counts, block, args.ppn,
+                                flow_solver=args.solver)
         if args.figure in ("1a", "all"):
             print(render_figure(fig1a), end="\n\n")
         if args.figure in ("1b", "all"):
             print(render_figure(fig1b), end="\n\n")
     if args.figure in ("2a", "2b", "all"):
-        fig2a, fig2b = fig2_shared(node_counts, block, args.ppn)
+        fig2a, fig2b = fig2_shared(node_counts, block, args.ppn,
+                                   flow_solver=args.solver)
         if args.figure in ("2a", "all"):
             print(render_figure(fig2a), end="\n\n")
         if args.figure in ("2b", "all"):

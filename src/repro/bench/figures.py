@@ -46,8 +46,9 @@ def _run_point(
     block_size,
     ppn: int,
     repetitions: int,
+    flow_solver: Optional[str] = None,
 ) -> Tuple[float, float]:
-    cluster = nextgenio(client_nodes=nodes)
+    cluster = nextgenio(client_nodes=nodes, flow_solver=flow_solver)
     params = IorParams(
         api=api,
         file_per_proc=file_per_proc,
@@ -67,6 +68,7 @@ def fig1_fpp(
     repetitions: int = 1,
     interfaces: Iterable[str] = FIG1_INTERFACES,
     oclasses: Iterable[str] = FIG1_OCLASSES,
+    flow_solver: Optional[str] = None,
 ) -> Tuple[FigureData, FigureData]:
     """Returns (fig1a_read, fig1b_write)."""
     read_fig = FigureData("Fig 1a", "IOR file-per-process: read",
@@ -80,7 +82,8 @@ def fig1_fpp(
             write_series = Series(label)
             for nodes in node_counts:
                 write_bw, read_bw = _run_point(
-                    nodes, api, oclass, True, block_size, ppn, repetitions
+                    nodes, api, oclass, True, block_size, ppn, repetitions,
+                    flow_solver=flow_solver,
                 )
                 read_series.add(nodes, read_bw)
                 write_series.add(nodes, write_bw)
@@ -96,6 +99,7 @@ def fig2_shared(
     repetitions: int = 1,
     interfaces: Iterable[str] = FIG2_INTERFACES,
     oclass: str = "SX",
+    flow_solver: Optional[str] = None,
 ) -> Tuple[FigureData, FigureData]:
     """Returns (fig2a_read, fig2b_write)."""
     read_fig = FigureData("Fig 2a", "IOR shared-file: read",
@@ -108,7 +112,8 @@ def fig2_shared(
         write_series = Series(label)
         for nodes in node_counts:
             write_bw, read_bw = _run_point(
-                nodes, api, oclass, False, block_size, ppn, repetitions
+                nodes, api, oclass, False, block_size, ppn, repetitions,
+                flow_solver=flow_solver,
             )
             read_series.add(nodes, read_bw)
             write_series.add(nodes, write_bw)

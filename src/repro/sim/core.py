@@ -250,32 +250,59 @@ class Simulator:
         """Run events until the heap drains or ``until`` is reached.
 
         Returns the simulated time at which execution stopped.
+
+        The dispatch loop is :meth:`step` inlined — same checks, same
+        ordering — because the per-event method call is measurable on
+        multi-million-event figure sweeps.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        failures = self._failures
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     break
-                self.step()
+                time, _seq, callback, args = pop(heap)
+                if time < self._now - 1e-12:
+                    raise SimulationError("event heap went backwards")
+                if time > self._now:
+                    self._now = time
+                callback(*args)
+                if failures:
+                    self._raise_failures()
         finally:
             self._running = False
-        if until is not None and not self._heap and self._now < until:
+        if until is not None and not heap and self._now < until:
             self._now = until
         return self._now
 
     def run_until_complete(self, task: Task, limit: float = 1e9) -> Any:
-        """Drive the simulation until ``task`` finishes and return its result."""
-        while not task.done:
-            if not self._heap:
+        """Drive the simulation until ``task`` finishes and return its result.
+
+        Dispatch is inlined as in :meth:`run`.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        failures = self._failures
+        while not task._done:
+            if not heap:
                 raise DeadlockError(
                     f"no runnable events but task {task.name!r} is pending"
                 )
             if self._now > limit:
                 raise SimulationError(f"simulation exceeded limit t={limit}")
-            self.step()
+            time, _seq, callback, args = pop(heap)
+            if time < self._now - 1e-12:
+                raise SimulationError("event heap went backwards")
+            if time > self._now:
+                self._now = time
+            callback(*args)
+            if failures:
+                self._raise_failures()
         return task.result
 
     # -- failure bookkeeping -------------------------------------------------

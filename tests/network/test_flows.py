@@ -187,6 +187,127 @@ def test_concurrent_transfers_on_same_flow_share_flow_rate():
     assert [t for _, t in done] == [pytest.approx(1.0), pytest.approx(1.0)]
 
 
+def test_set_link_capacity_mid_transfer_reschedules():
+    # 200 B on a 100 B/s link; at t=1 s (100 B done) the link degrades to
+    # 25 B/s: remaining 100 B takes 4 s more -> completion at t=5 s.
+    sim, net = make_net()
+    link = net.add_link("l", 100.0)
+    flow = net.open([(link, 1.0)])
+
+    def main():
+        yield flow.transfer(200.0)
+        return sim.now
+
+    def degrade():
+        yield 1.0
+        net.set_link_capacity(link, 25.0)
+
+    task = sim.spawn(main())
+    sim.spawn(degrade())
+    sim.run()
+    assert task.result == pytest.approx(5.0)
+    assert flow.rate == pytest.approx(25.0)
+
+
+def test_set_link_capacity_mid_transfer_speedup():
+    # The other direction: the link gets faster mid-flight, and the
+    # already-scheduled (now stale) completion event must be superseded.
+    sim, net = make_net()
+    link = net.add_link("l", 100.0)
+    flow = net.open([(link, 1.0)])
+
+    def main():
+        yield flow.transfer(300.0)
+        return sim.now
+
+    def upgrade():
+        yield 1.0
+        net.set_link_capacity(link, 400.0)
+
+    task = sim.spawn(main())
+    sim.spawn(upgrade())
+    sim.run()
+    # 1 s at 100 B/s = 100 B; remaining 200 B at 400 B/s = 0.5 s.
+    assert task.result == pytest.approx(1.5)
+
+
+def test_set_cap_mid_transfer_reschedules():
+    # Cap applied mid-flight: 1 s at 100 B/s (100 B done), then cap 20:
+    # remaining 100 B at 20 B/s = 5 s more -> t=6 s.
+    sim, net = make_net()
+    link = net.add_link("l", 100.0)
+    flow = net.open([(link, 1.0)])
+
+    def main():
+        yield flow.transfer(200.0)
+        return sim.now
+
+    def throttle():
+        yield 1.0
+        flow.set_cap(20.0)
+
+    task = sim.spawn(main())
+    sim.spawn(throttle())
+    sim.run()
+    assert task.result == pytest.approx(6.0)
+    assert flow.rate == pytest.approx(20.0)
+
+
+def test_clear_cap_mid_transfer_restores_link_rate():
+    sim, net = make_net()
+    link = net.add_link("l", 100.0)
+    flow = net.open([(link, 1.0)], cap=10.0)
+
+    def main():
+        yield flow.transfer(110.0)
+        return sim.now
+
+    def uncork():
+        yield 1.0
+        flow.set_cap(None)
+
+    task = sim.spawn(main())
+    sim.spawn(uncork())
+    sim.run()
+    # 1 s at 10 B/s = 10 B; remaining 100 B at 100 B/s = 1 s.
+    assert task.result == pytest.approx(2.0)
+
+
+def test_chained_mutations_accumulate_exact_bytes():
+    # Several mutations during one transfer: remaining-bytes accounting
+    # must integrate every rate segment. 600 B total:
+    #   t in [0,1): 100 B/s (competitor-free)      -> 100 B
+    #   t in [1,2): 50 B/s (competitor arrives)    -> 50 B
+    #   t in [2,3): 25 B/s (link degraded to 50)   -> 25 B
+    #   t in [3,4): 50 B/s (competitor leaves)     -> 50 B
+    #   t >= 4:     cap 75 binds under link 50 -> still 50 B/s
+    # remaining at t=4: 600-225=375 B at 50 B/s -> 7.5 s -> t=11.5 s.
+    sim, net = make_net()
+    link = net.add_link("l", 100.0)
+    flow = net.open([(link, 1.0)])
+
+    def main():
+        yield flow.transfer(600.0)
+        return sim.now
+
+    def script():
+        competitor = net.open([(link, 1.0)])
+        net.close(competitor)  # net effect nil before t=0 transfers start
+        yield 1.0
+        competitor = net.open([(link, 1.0)])
+        yield 1.0
+        net.set_link_capacity(link, 50.0)
+        yield 1.0
+        net.close(competitor)
+        yield 1.0
+        flow.set_cap(75.0)
+
+    task = sim.spawn(main())
+    sim.spawn(script())
+    sim.run()
+    assert task.result == pytest.approx(11.5)
+
+
 def test_invalid_inputs_rejected():
     sim, net = make_net()
     with pytest.raises(NetworkError):
