@@ -11,7 +11,7 @@ CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
 .PHONY: test chaos bench bench-cache bench-rebuild bench-async \
-	bench-flows trace trace-cache all
+	bench-flows trace trace-cache timeline all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -62,6 +62,20 @@ trace:
 		--trace-out artifacts/fig1-trace.json \
 		--metrics-out artifacts/fig1-metrics.json
 	$(PY) -m repro.obs.validate artifacts/fig1-trace.json
+
+# Continuous telemetry for the fig-1 DFS point: scrape the run every
+# 2 ms into a timeline JSON (per-window rates, gauge means, tail-latency
+# percentiles) with one intentionally-unmeetable SLO so the artifact
+# demonstrates a breach event end to end, then schema-validate it.
+timeline:
+	mkdir -p artifacts
+	$(PY) benchmarks/run_figures.py --ppn 4 \
+		--timeline-out artifacts/fig1-timeline.json \
+		--timeline-interval 0.002 \
+		--slo "ior.write.latency p99 < 1e-9 over 1 windows" \
+		--trace-out artifacts/fig1-timeline-trace.json
+	$(PY) -m repro.obs.validate artifacts/fig1-timeline.json
+	$(PY) -m repro.obs.validate artifacts/fig1-timeline-trace.json
 
 # The same instrumented point with the writeback cache enabled: the
 # trace must validate with the extra "cache" layer spans present.

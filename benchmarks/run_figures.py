@@ -58,6 +58,17 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="with/instead of --trace-out: write the "
                              "instrumented point's metrics dump")
+    parser.add_argument("--timeline-out", metavar="PATH",
+                        help="with/instead of --trace-out: write the "
+                             "instrumented point's time-series JSON")
+    parser.add_argument("--timeline-interval", type=float, default=0.01,
+                        metavar="SECONDS",
+                        help="scrape interval for --timeline-out "
+                             "(default 0.01 simulated seconds)")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="RULE",
+                        help="SLO/stall rule for the instrumented point "
+                             "(repeatable; see repro.obs.slo)")
     parser.add_argument("--cache-mode",
                         choices=["none", "readonly", "writeback"],
                         default="none",
@@ -83,7 +94,7 @@ def main(argv=None) -> int:
     block = "64m" if args.full else "16m"
 
     t0 = time.time()
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.timeline_out:
         # Instrumented single point: the sweep itself stays untraced (a
         # full sweep's span list would dwarf the figures it produces).
         result = fig1_traced_point(
@@ -92,9 +103,12 @@ def main(argv=None) -> int:
             trace_out=args.trace_out,
             metrics_out=args.metrics_out,
             cache_mode=args.cache_mode,
+            timeline_out=args.timeline_out,
+            timeline_interval=args.timeline_interval,
+            slo=args.slo or None,
         )
         print(result.summary())
-        for path in (args.trace_out, args.metrics_out):
+        for path in (args.trace_out, args.metrics_out, args.timeline_out):
             if path:
                 print(f"wrote {path}", file=sys.stderr)
         print(f"(generated in {time.time() - t0:.1f}s wall time)",

@@ -300,16 +300,23 @@ def fig1_traced_point(
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
     cache_mode: str = "none",
+    timeline_out: Optional[str] = None,
+    timeline_interval: float = 0.01,
+    slo=None,
 ):
     """One instrumented fig-1 point: single client node, DFS
     file-per-process, with tracing + metrics enabled. Writes the Chrome
-    trace / metrics dump when paths are given and returns the IorResult
-    (whose summary carries the per-layer breakdown).
+    trace / metrics dump / timeline JSON when paths are given and
+    returns the IorResult (whose summary carries the per-layer
+    breakdown and, with a timeline, the sparkline block).
     """
-    from repro.obs import write_chrome_trace, write_metrics
+    from repro.obs import write_chrome_trace, write_metrics, write_timeline
 
     cluster = nextgenio(client_nodes=1)
-    cluster.observe()
+    cluster.observe(
+        timeline_interval=timeline_interval if timeline_out else None,
+        slo_rules=slo,
+    )
     params = IorParams(
         api="DFS",
         file_per_proc=True,
@@ -320,9 +327,12 @@ def fig1_traced_point(
     )
     result = run_ior(cluster, params, ppn=ppn)
     if trace_out:
-        write_chrome_trace(cluster.sim.tracer, trace_out)
+        write_chrome_trace(cluster.sim.tracer, trace_out,
+                           timeline=result.timeline)
     if metrics_out:
         write_metrics(cluster.sim.metrics, metrics_out)
+    if timeline_out:
+        write_timeline(cluster.sim.timeline.store, timeline_out)
     return result
 
 

@@ -16,16 +16,22 @@ from typing import Dict, Hashable, Optional, Tuple
 class TtlCache:
     """Tiny deterministic (key -> value) cache with per-entry expiry."""
 
-    def __init__(self, sim, ttl: float, metrics_prefix: str = "cache.attr"):
+    def __init__(self, sim, ttl: float, metrics_prefix: str = "cache.attr",
+                 labels=None):
         self.sim = sim
         self.ttl = ttl
         self.prefix = metrics_prefix
+        if labels:
+            from repro.obs.metrics import format_metric_name
+            self._label_suffix = format_metric_name("", labels)
+        else:
+            self._label_suffix = ""
         self._entries: Dict[Hashable, Tuple[float, object]] = {}
 
     def _incr(self, name: str) -> None:
         m = self.sim.metrics
         if m is not None:
-            m.incr(f"{self.prefix}.{name}")
+            m.incr(f"{self.prefix}.{name}{self._label_suffix}")
 
     def get(self, key: Hashable) -> Optional[object]:
         """Value if cached and fresh, else None (expired entries drop)."""

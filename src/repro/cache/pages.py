@@ -36,12 +36,19 @@ class PageCache:
     """Shared per-mount data cache: file key -> extent map, global LRU."""
 
     def __init__(self, capacity: int, sim=None,
-                 metrics_prefix: str = "cache.page"):
+                 metrics_prefix: str = "cache.page", labels=None):
         if capacity <= 0:
             raise ValueError("page cache capacity must be positive")
         self.capacity = capacity
         self.sim = sim
         self.prefix = metrics_prefix
+        # Canonical label suffix precomputed once; metric names become
+        # e.g. cache.page.hit_bytes{node=cn0}.
+        if labels:
+            from repro.obs.metrics import format_metric_name
+            self._label_suffix = format_metric_name("", labels)
+        else:
+            self._label_suffix = ""
         self._files: Dict[Hashable, _FileView] = {}
         #: extent id -> (file key, extent), in LRU order (oldest first)
         self._lru: "OrderedDict[int, Tuple[Hashable, Extent]]" = OrderedDict()
@@ -52,7 +59,7 @@ class PageCache:
     def _incr(self, name: str, amount: float = 1.0) -> None:
         metrics = self.sim.metrics if self.sim is not None else None
         if metrics is not None:
-            metrics.incr(f"{self.prefix}.{name}", amount)
+            metrics.incr(f"{self.prefix}.{name}{self._label_suffix}", amount)
 
     # ------------------------------------------------------------- epochs
     def _view(self, key: Hashable, epoch: int) -> _FileView:

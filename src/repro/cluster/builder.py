@@ -45,11 +45,17 @@ class Cluster:
         return FaultInjector(self, schedule, trace=trace).arm()
 
     def observe(self, tracing: bool = True, metrics: bool = True,
-                seed: Optional[int] = None):
+                seed: Optional[int] = None,
+                timeline_interval: Optional[float] = None,
+                slo_rules=None):
         """Enable span tracing and/or metrics on this cluster's simulator;
         returns the ``(tracer, registry)`` pair. Purely additive: the
         simulated execution is identical with or without it (pinned by
-        tests/faults/test_determinism.py)."""
+        tests/faults/test_determinism.py and
+        tests/obs/test_timeline_determinism.py). ``timeline_interval``
+        additionally attaches the sim-time metrics scraper
+        (``sim.timeline``); ``slo_rules`` are rule strings per
+        :mod:`repro.obs.slo`."""
         from repro.obs import install
 
         return install(
@@ -57,6 +63,8 @@ class Cluster:
             tracing=tracing,
             metrics=metrics,
             seed=self.rng.seed if seed is None else seed,
+            timeline_interval=timeline_interval,
+            slo_rules=slo_rules,
         )
 
 
@@ -129,11 +137,15 @@ class LustreCluster:
         return self.sim.run_until_complete(task, limit=limit)
 
     def observe(self, tracing: bool = True, metrics: bool = True,
-                seed: int = 0xDA05):
+                seed: int = 0xDA05,
+                timeline_interval: Optional[float] = None,
+                slo_rules=None):
         """Enable span tracing and/or metrics (see :meth:`Cluster.observe`)."""
         from repro.obs import install
 
-        return install(self.sim, tracing=tracing, metrics=metrics, seed=seed)
+        return install(self.sim, tracing=tracing, metrics=metrics, seed=seed,
+                       timeline_interval=timeline_interval,
+                       slo_rules=slo_rules)
 
 
 def build_lustre_cluster(

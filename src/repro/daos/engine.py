@@ -195,10 +195,10 @@ class Engine:
         if metrics is not None:
             # Queue depth: ULT credits in use on this xstream right now.
             metrics.set_gauge(
-                f"engine.e{self.rank}.t{local_tid}.inflight",
+                f"engine.target.inflight{{rank={self.rank},target={local_tid}}}",
                 self.spec.target_inflight - sem.available,
             )
-            metrics.incr(f"engine.e{self.rank}.rpcs")
+            metrics.incr(f"engine.rpcs{{rank={self.rank}}}")
         span = (
             tracer.begin(
                 "engine.service",
@@ -220,11 +220,12 @@ class Engine:
                 tracer.end(span)
             if metrics is not None:
                 metrics.set_gauge(
-                    f"engine.e{self.rank}.t{local_tid}.inflight",
+                    f"engine.target.inflight{{rank={self.rank},target={local_tid}}}",
                     self.spec.target_inflight - sem.available,
                 )
                 metrics.observe(
-                    f"engine.e{self.rank}.service.latency", sim.now - started
+                    f"engine.service.latency{{rank={self.rank}}}",
+                    sim.now - started,
                 )
 
     # ------------------------------------------------------------- handlers

@@ -24,7 +24,7 @@ calling the blocking variants directly (pinned by ``tests/eq``).
 
 Observability: when the simulator runs observed, each event carries a
 ``client.eq.event`` span covering launch-to-completion and the queue
-maintains a ``client.eq.<name>.inflight`` gauge.
+maintains a ``client.eq.inflight{eq=<name>}`` gauge.
 """
 
 from __future__ import annotations
@@ -158,7 +158,7 @@ class EventQueue:
     def _gauge(self, delta: int) -> None:
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.gauge(f"client.eq.{self.name}.inflight").add(
+            metrics.gauge(f"client.eq.inflight{{eq={self.name}}}").add(
                 self.sim.now, delta
             )
 

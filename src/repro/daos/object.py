@@ -194,8 +194,8 @@ class ObjectHandle:
                 if metrics is not None:
                     metrics.incr("client.der_stale.retries")
                     metrics.incr(
-                        f"client.der_stale.{self.cont.pool.pool_map.label}"
-                        ".retries"
+                        f"client.der_stale.retries"
+                        f"{{pool={self.cont.pool.pool_map.label}}}"
                     )
                 retries -= 1
                 if retries <= 0:

@@ -165,13 +165,14 @@ class IoStream:
             batch = self._pending
             self._pending = None
             if metrics is not None:
-                metrics.incr(f"client.stream.{self.direction}.batches")
+                dir_label = f"{{dir={self.direction}}}"
+                metrics.incr(f"client.stream.batches{dir_label}")
                 metrics.incr(
-                    f"client.stream.{self.direction}.batched_ops", batch.ops
+                    f"client.stream.batched_ops{dir_label}", batch.ops
                 )
                 if batch.ops > 1:
                     metrics.incr(
-                        f"client.stream.{self.direction}.coalesced_bytes",
+                        f"client.stream.coalesced_bytes{dir_label}",
                         batch.nbytes,
                     )
             yield self._flow.transfer(batch.nbytes)
@@ -193,10 +194,19 @@ class IoStream:
         if self._flow is None:
             self.open()
         self._active += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            # Aggregate liveness gauge: >0 whenever any client op is in
+            # flight — the guard side of the default stall rule. Unlike
+            # fabric.xfer.inflight it also covers ops burning RPC
+            # timeouts against a crashed engine (no wire transfer).
+            metrics.gauge("client.io.inflight").add(self.sim.now, 1)
         try:
             return (yield from self._io_once(pieces, context, map_version))
         finally:
             self._active -= 1
+            if metrics is not None:
+                metrics.gauge("client.io.inflight").add(self.sim.now, -1)
             self._maybe_close()
 
     def _io_once(self, pieces: List[IoPiece], context,

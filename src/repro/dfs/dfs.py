@@ -58,7 +58,8 @@ class Dfs:
         #: cross-handle size-staleness fix, not a cache feature
         self._file_states: dict = {}
         self._dentry: Optional[TtlCache] = (
-            TtlCache(self.client.sim, self.cache.dentry_ttl, "cache.dentry")
+            TtlCache(self.client.sim, self.cache.dentry_ttl, "cache.dentry",
+                     labels={"node": self.client.node.name})
             if self.cache is not None else None
         )
 

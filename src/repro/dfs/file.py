@@ -75,6 +75,12 @@ class DfsFile:
         self._ra_buf: Optional[ExtentMap] = (
             ExtentMap() if cfg is not None else None
         )
+        # Canonical labeled read-ahead metric names, built once per
+        # handle — the hit counter sits inside the read segment loop.
+        node = f"{{node={dfs.client.node.name}}}"
+        self._ra_hit_metric = f"cache.ra.hit_bytes{node}"
+        self._ra_prefetch_metric = f"cache.ra.prefetches{node}"
+        self._ra_prefetched_metric = f"cache.ra.prefetched_bytes{node}"
 
     # ------------------------------------------------------------- I/O
     def _span(self, name: str, **attrs):
@@ -217,7 +223,7 @@ class DfsFile:
                         parts.append(ra_ext.payload.slice(rel, rel + sub_len))
                         copy_bytes += sub_len
                         if metrics is not None:
-                            metrics.incr("cache.ra.hit_bytes", sub_len)
+                            metrics.incr(self._ra_hit_metric, sub_len)
                     else:
                         fetched = yield from self._fetch(
                             sub_start, sub_len, offset + length, size
@@ -248,8 +254,8 @@ class DfsFile:
             self.ra.note_prefetch(got)
             metrics = self.dfs.client.sim.metrics
             if metrics is not None:
-                metrics.incr("cache.ra.prefetches")
-                metrics.incr("cache.ra.prefetched_bytes", got)
+                metrics.incr(self._ra_prefetch_metric)
+                metrics.incr(self._ra_prefetched_metric, got)
         return payload
 
     def get_size(self) -> Generator:

@@ -67,11 +67,13 @@ class DFuseMount(FileSystem):
             cfg = cfg.resolve(dfs.client.node.spec)
         self.cache = cfg
         sim = dfs.client.sim
+        node_labels = {"node": dfs.client.node.name}
         self.page: Optional[PageCache] = (
-            PageCache(cfg.capacity, sim) if cfg is not None else None
+            PageCache(cfg.capacity, sim, labels=node_labels)
+            if cfg is not None else None
         )
         self._attrs: Optional[TtlCache] = (
-            TtlCache(sim, cfg.attr_ttl, "cache.attr")
+            TtlCache(sim, cfg.attr_ttl, "cache.attr", labels=node_labels)
             if cfg is not None else None
         )
 

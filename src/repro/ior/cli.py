@@ -68,6 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write a metrics dump (.prom/.txt = Prometheus "
                              "text, anything else = JSON snapshot)")
+    parser.add_argument("--timeline-out", metavar="PATH",
+                        help="write the run's time-series JSON (sim-time "
+                             "metrics scraper; implies metrics)")
+    parser.add_argument("--timeline-interval", type=float, default=0.01,
+                        metavar="SECONDS",
+                        help="scrape interval in simulated seconds "
+                             "(default 0.01)")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="RULE",
+                        help="SLO/stall rule evaluated per scrape window, "
+                             "e.g. 'ior.write.latency p99 < 2e-3 over 3 "
+                             "windows' or 'stall fabric.xfer.bytes while "
+                             "client.io.inflight over 2 windows'; "
+                             "repeatable (default: the stall watchdog)")
     return parser
 
 
@@ -125,22 +139,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             server_nodes=args.servers, client_nodes=args.nodes,
             seed=args.seed,
         )
-    if args.trace_out or args.metrics_out:
+    if args.trace_out or args.metrics_out or args.timeline_out:
         cluster.observe(
-            tracing=bool(args.trace_out), metrics=bool(args.metrics_out)
+            tracing=bool(args.trace_out),
+            metrics=bool(args.metrics_out),
+            timeline_interval=(
+                args.timeline_interval if args.timeline_out else None
+            ),
+            slo_rules=args.slo or None,
         )
     result = run_ior(cluster, params, ppn=args.ppn)
     print(result.summary())
     if args.trace_out:
         from repro.obs import write_chrome_trace
 
-        write_chrome_trace(cluster.sim.tracer, args.trace_out)
+        write_chrome_trace(cluster.sim.tracer, args.trace_out,
+                           timeline=getattr(result, "timeline", None))
         print(f"trace written to {args.trace_out}", file=sys.stderr)
     if args.metrics_out:
         from repro.obs import write_metrics
 
         write_metrics(cluster.sim.metrics, args.metrics_out)
         print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if args.timeline_out:
+        from repro.obs import write_timeline
+
+        write_timeline(cluster.sim.timeline.store, args.timeline_out)
+        print(f"timeline written to {args.timeline_out}", file=sys.stderr)
     return 1 if result.verify_errors else 0
 
 

@@ -11,6 +11,11 @@ from repro.units import fmt_bw, fmt_size, fmt_time
 #: Per-rank rows printed in the latency table before eliding the rest.
 _MAX_RANK_ROWS = 16
 
+#: Max columns of a terminal timeline sparkline (downsampled above this).
+_SPARK_COLS = 60
+
+_SPARK_CHARS = " ▁▂▃▄▅▆▇█"
+
 
 @dataclass
 class LatencySummary:
@@ -53,6 +58,9 @@ class IorResult:
     phases: List[PhaseResult] = field(default_factory=list)
     #: per-rank latency percentiles (populated when metrics are enabled)
     latency: List[LatencySummary] = field(default_factory=list)
+    #: the run's TimeSeriesStore (populated when the timeline scraper is
+    #: enabled; see repro.obs.timeline)
+    timeline: Optional[object] = None
 
     def _best(self, op: str) -> Optional[PhaseResult]:
         candidates = [p for p in self.phases if p.op == op]
@@ -97,6 +105,7 @@ class IorResult:
         if self._best("read"):
             lines.append(f"Max Read:  {fmt_bw(self.max_read_bw)}")
         lines.extend(self._latency_lines())
+        lines.extend(self._timeline_lines())
         return "\n".join(lines)
 
     @staticmethod
@@ -133,3 +142,63 @@ class IorResult:
             )
             shown += 1
         return lines
+
+    def _timeline_lines(self) -> List[str]:
+        store = self.timeline
+        if store is None or not store.series:
+            return []
+        lines = [
+            f"timeline ({store.n_windows} windows @ "
+            f"{fmt_time(store.interval)}):"
+        ]
+        shown = (
+            ("fabric.xfer.bytes:rate", "wire B/s", fmt_bw),
+            ("ior.write.latency:p99", "write p99", fmt_time),
+            ("ior.read.latency:p99", "read p99", fmt_time),
+        )
+        for name, label, fmt in shown:
+            series = store.series.get(name)
+            if series is None:
+                continue
+            series.finalize()
+            if not series.points:
+                continue
+            values = _resample(series, store.origin, store.end, _SPARK_COLS)
+            peak = max(values)
+            lines.append(
+                f"  {label:<9s} |{_sparkline(values)}| peak {fmt(peak)}"
+            )
+        for breach in store.breaches:
+            lines.append(
+                f"  SLO BREACH at t={fmt_time(breach.time)}: {breach.rule}"
+            )
+        return lines
+
+
+def _resample(series, start: float, end: float, cols: int) -> List[float]:
+    """Step-wise resample of a compressed series onto ``cols`` columns."""
+    if end <= start:
+        return [v for _t, v in series.points[:cols]] or [0.0]
+    step = (end - start) / cols
+    points = series.points
+    values: List[float] = []
+    idx = 0
+    current = 0.0
+    for col in range(cols):
+        t = start + (col + 1) * step
+        while idx < len(points) and points[idx][0] <= t:
+            current = points[idx][1]
+            idx += 1
+        values.append(current)
+    return values
+
+
+def _sparkline(values: List[float]) -> str:
+    peak = max(values)
+    if peak <= 0:
+        return " " * len(values)
+    ticks = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[min(ticks, int(round(v / peak * ticks)))]
+        for v in values
+    )

@@ -72,7 +72,9 @@ def _attach_observability(result: IorResult, sim, nprocs: int) -> None:
     if metrics is not None:
         for op in ("write", "read"):
             for rank in range(nprocs):
-                hist = metrics.histograms.get(f"ior.rank{rank}.{op}.latency")
+                hist = metrics.histograms.get(
+                    f"ior.{op}.latency{{rank={rank}}}"
+                )
                 if hist is None or hist.count == 0:
                     continue
                 result.latency.append(
@@ -86,6 +88,9 @@ def _attach_observability(result: IorResult, sim, nprocs: int) -> None:
                         p99=hist.p99,
                     )
                 )
+    timeline = getattr(sim, "timeline", None)
+    if timeline is not None:
+        result.timeline = timeline.store
 
 
 def _rank_main(ctx, params: IorParams, env) -> Generator:
@@ -125,7 +130,7 @@ def _reap(ctx, op: str, event) -> None:
     event.result
     metrics = ctx.sim.metrics
     if metrics is not None:
-        metrics.observe(f"ior.rank{ctx.rank}.{op}.latency", event.elapsed)
+        metrics.observe(f"ior.{op}.latency{{rank={ctx.rank}}}", event.elapsed)
         metrics.observe(f"ior.{op}.latency", event.elapsed)
 
 
@@ -149,7 +154,7 @@ def _phase_write(ctx, params: IorParams, backend, repetition: int) -> Generator:
                 if metrics is not None:
                     elapsed = sim.now - op_start
                     metrics.observe(
-                        f"ior.rank{ctx.rank}.write.latency", elapsed
+                        f"ior.write.latency{{rank={ctx.rank}}}", elapsed
                     )
                     metrics.observe("ior.write.latency", elapsed)
     if params.fsync:
@@ -212,7 +217,7 @@ def _phase_read(ctx, params: IorParams, backend, repetition: int) -> Generator:
                 if metrics is not None:
                     elapsed = sim.now - op_start
                     metrics.observe(
-                        f"ior.rank{ctx.rank}.read.latency", elapsed
+                        f"ior.read.latency{{rank={ctx.rank}}}", elapsed
                     )
                     metrics.observe("ior.read.latency", elapsed)
                 if params.verify:

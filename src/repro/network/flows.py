@@ -151,10 +151,12 @@ class Transfer:
     the exact fluid-model completion time.
     """
 
-    __slots__ = ("flow", "remaining", "last_t", "gate", "_generation", "done")
+    __slots__ = ("flow", "nbytes", "remaining", "last_t", "gate",
+                 "_generation", "done")
 
     def __init__(self, flow: Flow, nbytes: float, sim: Simulator):
         self.flow = flow
+        self.nbytes = float(nbytes)
         self.remaining = float(nbytes)
         self.last_t = sim.now
         self.gate = Gate(sim)
@@ -713,6 +715,12 @@ class FlowNetwork:
             transfer.gate.open(self.sim.now)
             return transfer
         flow._transfers.append(transfer)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            # Progress/liveness pair for the stall watchdog: inflight
+            # stays >0 across a close() that strands transfers, which is
+            # exactly the silent-hang signature the watchdog looks for.
+            metrics.gauge("fabric.xfer.inflight").add(self.sim.now, 1)
         self._schedule_completion(transfer)
         return transfer
 
@@ -738,6 +746,10 @@ class FlowNetwork:
         transfer.last_t = self.sim.now
         transfer.done = True
         transfer.flow._transfers.remove(transfer)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.incr("fabric.xfer.bytes", transfer.nbytes)
+            metrics.gauge("fabric.xfer.inflight").add(self.sim.now, -1)
         transfer.gate.open(self.sim.now)
 
     def _sync_transfer(self, transfer: Transfer) -> None:
@@ -802,7 +814,9 @@ class FlowNetwork:
         if metrics is not None and flows:
             now = self.sim.now
             for link in links:
-                gauge = metrics.gauge(f"fabric.link.{link.name}.utilization")
+                gauge = metrics.gauge(
+                    f"fabric.link.utilization{{link={link.name}}}"
+                )
                 gauge.set(now, link.utilization())
 
     def _note_forced_exit(self, level: float, n_unfixed: int) -> None:

@@ -3,8 +3,10 @@
 Produces the JSON-object form of the trace-event format understood by
 Perfetto (ui.perfetto.dev) and chrome://tracing: one "process" (pid) per
 simulated node, one "thread" track (tid) per stack layer, "X" complete
-events for spans and "i" instant events for markers (fault injections).
-Timestamps are microseconds of simulated time.
+events for spans, "i" instant events for markers (fault injections),
+and — when a timeline store is supplied — "C" counter events so
+bandwidth/queue-depth curves render alongside the spans. Timestamps are
+microseconds of simulated time.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ LAYER_ORDER = [
     "vos",
     "rebuild",
     "faults",
+    "obs",
 ]
 
 _US = 1e6  # simulated seconds -> trace microseconds
@@ -41,12 +44,28 @@ def _layer_tid(layer: str) -> int:
         return len(LAYER_ORDER)
 
 
-def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
-    """Build the trace-event dict for ``tracer``'s recorded spans."""
+def chrome_trace(tracer: Tracer, timeline=None) -> Dict[str, Any]:
+    """Build the trace-event dict for ``tracer``'s recorded spans.
+
+    ``timeline`` (a :class:`repro.obs.timeline.TimeSeriesStore`) adds
+    "C" counter events on a dedicated pid-0 "timeline" process — one
+    counter track per series — so Perfetto renders the sampled curves
+    above the span tracks.
+    """
     nodes = sorted({span.node or "cluster" for span in tracer.spans})
     pid_of = {node: pid for pid, node in enumerate(nodes, start=1)}
     events: List[Dict[str, Any]] = []
 
+    if timeline is not None and timeline.series:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "timeline"},
+            }
+        )
     for node, pid in pid_of.items():
         events.append(
             {
@@ -106,14 +125,28 @@ def chrome_trace(tracer: Tracer) -> Dict[str, Any]:
                     "args": args,
                 }
             )
+    if timeline is not None:
+        for name, series in sorted(timeline.series.items()):
+            series.finalize()
+            for t, v in series.points:
+                span_events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": t * _US,
+                        "pid": 0,
+                        "tid": 0,
+                        "args": {"value": v},
+                    }
+                )
     span_events.sort(key=lambda ev: ev["ts"])
     events.extend(span_events)
     return {"displayTimeUnit": "ms", "traceEvents": events}
 
 
-def write_chrome_trace(tracer: Tracer, path: str) -> None:
+def write_chrome_trace(tracer: Tracer, path: str, timeline=None) -> None:
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(chrome_trace(tracer), fh, indent=1)
+        json.dump(chrome_trace(tracer, timeline=timeline), fh, indent=1)
 
 
 def validate_chrome_trace(doc: Any) -> List[str]:
@@ -132,7 +165,7 @@ def validate_chrome_trace(doc: Any) -> List[str]:
             problems.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "M", "i"):
+        if ph not in ("X", "M", "i", "C"):
             problems.append(f"{where}: unknown phase {ph!r}")
             continue
         for key in ("name", "pid", "tid"):

@@ -1,20 +1,26 @@
 """Hierarchical metrics registry with histograms and export formats.
 
 Metric names follow ``layer.component.metric`` (DESIGN.md §7), e.g.
-``engine.e0.t1.inflight`` or ``ior.rank3.write.latency``. The registry
-offers four instrument kinds:
+``engine.rpcs`` or ``ior.write.latency``, optionally carrying *labels*
+in a ``{key=value,...}`` suffix — ``ior.write.latency{rank=3}``,
+``rebuild.bytes_moved{pool=tank,target=5}`` — so per-pool, per-tenant,
+per-target and per-rank traffic become separable series (DESIGN.md
+§12). Label keys are kept sorted, making the full name canonical; the
+registry is keyed on that canonical full name. The registry offers four
+instrument kinds:
 
 * :class:`Counter` — monotonically increasing totals,
 * :class:`Gauge` — time-weighted values with a bounded timeline of
   (t, value) points (per-edge fabric utilisation, queue depths),
 * :class:`Histogram` — log2-bucketed latency distributions with
-  p50/p95/p99 estimation,
+  p50/p95/p99/p999 estimation,
 * :class:`Reservoir` — bounded uniform value samples (algorithm R),
   seeded through :class:`repro.sim.rng.RngStreams` so observation never
   perturbs simulation randomness.
 
-Exports: :meth:`MetricsRegistry.to_prometheus` (text exposition format)
-and :meth:`MetricsRegistry.snapshot` (JSON-serialisable dict);
+Exports: :meth:`MetricsRegistry.to_prometheus` (text exposition format,
+with cumulative ``_bucket{le=...}`` lines for histograms) and
+:meth:`MetricsRegistry.snapshot` (JSON-serialisable dict);
 :func:`write_metrics` picks the format from the file extension.
 """
 
@@ -23,7 +29,7 @@ from __future__ import annotations
 import json
 import math
 from collections import deque
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.rng import RngStreams
 
@@ -37,6 +43,48 @@ GAUGE_TIMELINE_CAP = 4096
 
 #: Values kept per reservoir.
 RESERVOIR_CAP = 512
+
+
+# --------------------------------------------------------------------- labels
+def format_metric_name(base: str, labels: Optional[Dict[str, Any]] = None) -> str:
+    """Canonical full name: ``base{k=v,...}`` with keys sorted.
+
+    Label values are stringified verbatim; they must not contain ``,``
+    ``{`` ``}`` or ``=`` (enforced here so every exporter can round-trip
+    the name).
+    """
+    if not labels:
+        return base
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if any(ch in value for ch in ",{}=") or any(
+            ch in key for ch in ",{}="
+        ):
+            raise ValueError(
+                f"metric label {key}={value!r} contains a reserved character"
+            )
+        parts.append(f"{key}={value}")
+    return f"{base}{{{','.join(parts)}}}"
+
+
+def parse_metric_name(full: str) -> Tuple[str, Dict[str, str]]:
+    """Split a full metric name into ``(base, labels)``."""
+    brace = full.find("{")
+    if brace < 0:
+        return full, {}
+    if not full.endswith("}"):
+        raise ValueError(f"malformed metric name {full!r}")
+    base = full[:brace]
+    labels: Dict[str, str] = {}
+    body = full[brace + 1:-1]
+    if body:
+        for item in body.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key:
+                raise ValueError(f"malformed metric label {item!r} in {full!r}")
+            labels[key] = value
+    return base, labels
 
 
 class Counter:
@@ -91,6 +139,35 @@ class Gauge:
         return total / window if window > 0 else self.value
 
 
+def bucket_upper(idx: int) -> float:
+    """Upper bound of log2 bucket ``idx`` in seconds."""
+    return _HIST_LO * (2.0 ** idx)
+
+
+def bucket_quantile(buckets: List[int], count: int, q: float) -> float:
+    """Estimated q-quantile of a log2 bucket-count array (unclamped).
+
+    The interpolation is identical to :meth:`Histogram.quantile` minus
+    the observed-extrema clamp, so it works on *bucket deltas* — the
+    per-window histograms of :mod:`repro.obs.timeline` — where exact
+    extrema are not tracked. Returns 0.0 when ``count`` is 0.
+    """
+    if count <= 0:
+        return 0.0
+    rank = max(q, 0.0) * count
+    seen = 0
+    for idx, n in enumerate(buckets):
+        if n == 0:
+            continue
+        if seen + n >= rank:
+            lo = 0.0 if idx == 0 else bucket_upper(idx - 1)
+            hi = bucket_upper(idx)
+            frac = (rank - seen) / n
+            return lo + (hi - lo) * frac
+        seen += n
+    return bucket_upper(_HIST_BUCKETS - 1)
+
+
 class Histogram:
     """Log2-bucketed histogram of non-negative values (latencies).
 
@@ -125,7 +202,7 @@ class Histogram:
 
     @staticmethod
     def _upper(idx: int) -> float:
-        return _HIST_LO * (2.0 ** idx)
+        return bucket_upper(idx)
 
     def quantile(self, q: float) -> float:
         """Estimated q-quantile (q in [0, 1]); 0.0 when empty."""
@@ -135,19 +212,8 @@ class Histogram:
             return self.vmin
         if q >= 1:
             return self.vmax
-        rank = q * self.count
-        seen = 0
-        for idx, n in enumerate(self.buckets):
-            if n == 0:
-                continue
-            if seen + n >= rank:
-                lo = 0.0 if idx == 0 else self._upper(idx - 1)
-                hi = self._upper(idx)
-                frac = (rank - seen) / n
-                est = lo + (hi - lo) * frac
-                return min(max(est, self.vmin), self.vmax)
-            seen += n
-        return self.vmax
+        est = bucket_quantile(self.buckets, self.count, q)
+        return min(max(est, self.vmin), self.vmax)
 
     @property
     def p50(self) -> float:
@@ -160,6 +226,10 @@ class Histogram:
     @property
     def p99(self) -> float:
         return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
 
     @property
     def mean(self) -> float:
@@ -208,25 +278,41 @@ class MetricsRegistry:
         self._rng = RngStreams(seed ^ 0x0B5E)
 
     # --------------------------------------------------------------- access
-    def counter(self, name: str) -> Counter:
+    #
+    # Names that already contain ``{`` are assumed canonical (labels
+    # sorted) — hot paths precompute them once with format_metric_name
+    # rather than re-canonicalising per call.
+    def counter(self, name: str,
+                labels: Optional[Dict[str, Any]] = None) -> Counter:
+        if labels:
+            name = format_metric_name(name, labels)
         c = self.counters.get(name)
         if c is None:
             c = self.counters[name] = Counter(name)
         return c
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str,
+              labels: Optional[Dict[str, Any]] = None) -> Gauge:
+        if labels:
+            name = format_metric_name(name, labels)
         g = self.gauges.get(name)
         if g is None:
             g = self.gauges[name] = Gauge(name, self.sim.now)
         return g
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  labels: Optional[Dict[str, Any]] = None) -> Histogram:
+        if labels:
+            name = format_metric_name(name, labels)
         h = self.histograms.get(name)
         if h is None:
             h = self.histograms[name] = Histogram(name)
         return h
 
-    def reservoir(self, name: str) -> Reservoir:
+    def reservoir(self, name: str,
+                  labels: Optional[Dict[str, Any]] = None) -> Reservoir:
+        if labels:
+            name = format_metric_name(name, labels)
         r = self.reservoirs.get(name)
         if r is None:
             r = self.reservoirs[name] = Reservoir(
@@ -235,14 +321,17 @@ class MetricsRegistry:
         return r
 
     # shorthands used on instrumented hot paths
-    def incr(self, name: str, amount: float = 1.0) -> None:
-        self.counter(name).incr(amount)
+    def incr(self, name: str, amount: float = 1.0,
+             labels: Optional[Dict[str, Any]] = None) -> None:
+        self.counter(name, labels).incr(amount)
 
-    def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+    def observe(self, name: str, value: float,
+                labels: Optional[Dict[str, Any]] = None) -> None:
+        self.histogram(name, labels).observe(value)
 
-    def set_gauge(self, name: str, value: float) -> None:
-        self.gauge(name).set(self.sim.now, value)
+    def set_gauge(self, name: str, value: float,
+                  labels: Optional[Dict[str, Any]] = None) -> None:
+        self.gauge(name, labels).set(self.sim.now, value)
 
     # --------------------------------------------------------------- export
     def snapshot(self) -> Dict[str, Any]:
@@ -272,6 +361,7 @@ class MetricsRegistry:
                     "p50": h.p50,
                     "p95": h.p95,
                     "p99": h.p99,
+                    "p999": h.p999,
                 }
                 for name, h in sorted(self.histograms.items())
             },
@@ -286,32 +376,70 @@ class MetricsRegistry:
         }
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (names sanitised to [a-z0-9_])."""
+        """Prometheus text exposition format.
+
+        Base names are sanitised to ``[a-zA-Z0-9_]``; labels render in
+        Prometheus syntax (``{k="v"}``). Histograms emit the real
+        ``histogram`` type — cumulative ``_bucket{le="..."}`` lines up
+        to the highest occupied log2 bucket plus ``+Inf``, then
+        ``_sum``/``_count`` — so downstream tooling can aggregate them
+        (summary quantiles cannot be merged across series).
+        """
         now = self.sim.now
         lines: List[str] = []
+        typed: set = set()
 
         def sanitise(name: str) -> str:
             return "".join(
                 ch if ch.isalnum() or ch == "_" else "_" for ch in name
             )
 
+        def split(full: str) -> Tuple[str, str]:
+            """(sanitised base, rendered {k="v",...} or "")."""
+            base, labels = parse_metric_name(full)
+            if not labels:
+                return sanitise(base), ""
+            body = ",".join(
+                f'{sanitise(k)}="{v}"' for k, v in sorted(labels.items())
+            )
+            return sanitise(base), "{" + body + "}"
+
+        def type_line(metric: str, kind: str) -> None:
+            # One TYPE line per base metric: labeled series share it.
+            if metric not in typed:
+                typed.add(metric)
+                lines.append(f"# TYPE {metric} {kind}")
+
+        def merge_labels(rendered: str, extra: str) -> str:
+            if not rendered:
+                return "{" + extra + "}"
+            return rendered[:-1] + "," + extra + "}"
+
         for name, c in sorted(self.counters.items()):
-            metric = sanitise(name)
-            lines.append(f"# TYPE {metric} counter")
-            lines.append(f"{metric} {c.value:g}")
+            metric, lbl = split(name)
+            type_line(metric, "counter")
+            lines.append(f"{metric}{lbl} {c.value:g}")
         for name, g in sorted(self.gauges.items()):
-            metric = sanitise(name)
-            lines.append(f"# TYPE {metric} gauge")
-            lines.append(f"{metric} {g.value:g}")
-            lines.append(f"{metric}_mean {g.mean(now):g}")
+            metric, lbl = split(name)
+            type_line(metric, "gauge")
+            lines.append(f"{metric}{lbl} {g.value:g}")
+            lines.append(f"{metric}_mean{lbl} {g.mean(now):g}")
         for name, h in sorted(self.histograms.items()):
-            metric = sanitise(name)
-            lines.append(f"# TYPE {metric} summary")
-            lines.append(f'{metric}{{quantile="0.5"}} {h.p50:g}')
-            lines.append(f'{metric}{{quantile="0.95"}} {h.p95:g}')
-            lines.append(f'{metric}{{quantile="0.99"}} {h.p99:g}')
-            lines.append(f"{metric}_sum {h.total:g}")
-            lines.append(f"{metric}_count {h.count}")
+            metric, lbl = split(name)
+            type_line(metric, "histogram")
+            highest = -1
+            for idx, n in enumerate(h.buckets):
+                if n:
+                    highest = idx
+            cumulative = 0
+            for idx in range(highest + 1):
+                cumulative += h.buckets[idx]
+                le = merge_labels(lbl, f'le="{bucket_upper(idx):g}"')
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            inf = merge_labels(lbl, 'le="+Inf"')
+            lines.append(f"{metric}_bucket{inf} {h.count}")
+            lines.append(f"{metric}_sum{lbl} {h.total:g}")
+            lines.append(f"{metric}_count{lbl} {h.count}")
         return "\n".join(lines) + "\n"
 
 

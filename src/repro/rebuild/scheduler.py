@@ -204,6 +204,10 @@ class RebuildManager:
         sim = self.sim
         tracer = sim.tracer
         metrics = sim.metrics
+        # Aggregate metrics keep their pre-label names; the labeled
+        # variants separate per-pool/per-target rebuild traffic in the
+        # timeline (keys pre-sorted: pool < target).
+        job_label = f"{{pool={job.pool_uuid},target={job.tid}}}"
         job.started = sim.now
         if job.cancelled:
             job.status = "cancelled"
@@ -235,11 +239,15 @@ class RebuildManager:
             job.bytes_total += sum(i.nbytes for i in items)
             if metrics is not None:
                 metrics.set_gauge("rebuild.objects_pending", n_objects)
+                metrics.set_gauge(
+                    f"rebuild.objects_pending{job_label}", n_objects
+                )
             job.status = "migrating"
             yield from self._migrate(job, items)
             after = scan_stamp
         if metrics is not None:
             metrics.set_gauge("rebuild.objects_pending", 0)
+            metrics.set_gauge(f"rebuild.objects_pending{job_label}", 0)
         if job.cancelled:
             job.status = "cancelled"
             return
@@ -262,6 +270,10 @@ class RebuildManager:
         if metrics is not None:
             metrics.incr("rebuild.jobs_completed")
             metrics.observe("rebuild.job_seconds", job.finished - job.started)
+            metrics.incr(f"rebuild.jobs_completed{job_label}")
+            metrics.observe(
+                f"rebuild.job_seconds{job_label}", job.finished - job.started
+            )
 
     def _scan_cost(self, n_objects: int) -> float:
         """Aggregate CPU charge for one scan round (per-engine inventory
@@ -545,8 +557,13 @@ class RebuildManager:
                         job.objects_done += 1
                     last_obj = obj
                 if metrics is not None:
+                    job_label = f"{{pool={job.pool_uuid},target={job.tid}}}"
                     metrics.incr("rebuild.bytes_moved", item.nbytes)
                     metrics.incr("rebuild.items_migrated")
+                    metrics.incr(
+                        f"rebuild.bytes_moved{job_label}", item.nbytes
+                    )
+                    metrics.incr(f"rebuild.items_migrated{job_label}")
             if last_obj is not None:
                 job.objects_done += 1
         finally:

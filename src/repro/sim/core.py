@@ -208,6 +208,7 @@ class Simulator:
         # and tracing is strictly opt-in.
         self.tracer = None
         self.metrics = None
+        self.timeline = None
 
     @property
     def now(self) -> float:
@@ -231,6 +232,11 @@ class Simulator:
             )
         task = Task(self, gen, name)
         self.schedule(0.0, task._step)
+        if self.timeline is not None:
+            # Revive a parked metrics scraper (repro.obs.timeline); the
+            # scraper parks whenever the heap drains so it cannot mask
+            # DeadlockError, and new activity starts it ticking again.
+            self.timeline.on_activity()
         return task
 
     # -- execution ---------------------------------------------------------

@@ -111,4 +111,4 @@ def test_der_stale_retries_surface_in_metrics(cluster, cont):
     assert cluster.run(go()) == "ok"
     after = metrics.counters["client.der_stale.retries"].value
     assert after == before + 1
-    assert "client.der_stale.tank.retries" in metrics.counters
+    assert "client.der_stale.retries{pool=tank}" in metrics.counters

@@ -118,4 +118,6 @@ def test_cli_trace_out_writes_valid_chrome_trace(tmp_path, capsys):
 
     snap = json.loads(metrics.read_text())
     assert snap["counters"]["fabric.msgs.delivered"] > 0
-    assert any(n.startswith("ior.rank") for n in snap["histograms"])
+    assert any(
+        n.startswith("ior.write.latency{rank=") for n in snap["histograms"]
+    )

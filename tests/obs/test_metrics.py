@@ -142,10 +142,37 @@ def test_prometheus_exposition_format():
     assert "# TYPE fabric_msgs_delivered counter" in text
     assert "fabric_msgs_delivered 1" in text
     assert "# TYPE engine_e0_t0_inflight gauge" in text
-    assert "# TYPE ior_write_latency summary" in text
-    assert 'ior_write_latency{quantile="0.5"}' in text
+    assert "# TYPE ior_write_latency histogram" in text
+    assert 'ior_write_latency_bucket{le="+Inf"} 1' in text
+    assert "ior_write_latency_sum 0.5" in text
     assert "ior_write_latency_count 1" in text
     assert text.endswith("\n")
+
+
+def test_prometheus_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry(_Clock())
+    for v in (0.001, 0.002, 0.004, 0.1):
+        reg.observe("lat", v)
+    text = reg.to_prometheus()
+    lines = [l for l in text.splitlines() if l.startswith("lat_bucket")]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+    assert counts == sorted(counts)  # cumulative, non-decreasing
+    assert counts[-1] == 4  # +Inf bucket equals total count
+    assert lines[-1].startswith('lat_bucket{le="+Inf"}')
+
+
+def test_prometheus_labels_render_in_prom_syntax():
+    reg = MetricsRegistry(_Clock())
+    reg.incr("ior.ops", labels={"rank": 3})
+    reg.incr("ior.ops", labels={"rank": 7})
+    reg.observe("ior.write.latency", 0.01, labels={"rank": 3})
+    text = reg.to_prometheus()
+    assert 'ior_ops{rank="3"} 1' in text
+    assert 'ior_ops{rank="7"} 1' in text
+    # one TYPE line per base metric, shared by the labeled series
+    assert text.count("# TYPE ior_ops counter") == 1
+    assert 'ior_write_latency_sum{rank="3"} 0.01' in text
+    assert 'ior_write_latency_bucket{rank="3",le="+Inf"} 1' in text
 
 
 def test_write_metrics_picks_format_by_extension(tmp_path):

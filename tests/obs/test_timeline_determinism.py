@@ -1,0 +1,87 @@
+"""Zero-perturbation gate for the timeline scraper.
+
+The scraper's acceptance bar: sampling every interval must not move a
+single simulated timestamp. Scraper-on runs are compared bit-exactly
+(pure float equality) against scraper-off runs and against the pinned
+pre-observability seed figures — any drift is a perturbation bug, not a
+recalibration.
+"""
+
+import pytest
+
+from repro.cluster import nextgenio, small_cluster
+from repro.ior import IorParams, run_ior
+from repro.units import KiB
+
+from tests.cache.test_cache_determinism import SEED_FIGURES
+
+SMALL = dict(block_size=256 * KiB, transfer_size=64 * KiB)
+
+
+def _run(observe_kwargs, api="DFS", cluster_factory=None, **params_over):
+    cluster = (cluster_factory or (
+        lambda: small_cluster(server_nodes=2, client_nodes=1)
+    ))()
+    if observe_kwargs is not None:
+        cluster.observe(**observe_kwargs)
+    params = IorParams(api=api, file_per_proc=True, oclass="SX",
+                       **{**SMALL, **params_over})
+    result = run_ior(cluster, params, ppn=2)
+    return result.max_write_bw, result.max_read_bw
+
+
+def test_scraper_on_equals_scraper_off():
+    baseline = _run(None)
+    scraped = _run(dict(timeline_interval=0.001))
+    assert scraped == baseline
+
+
+def test_scraper_with_slo_rules_equals_scraper_off():
+    baseline = _run(None)
+    watched = _run(dict(
+        timeline_interval=0.001,
+        slo_rules=["ior.write.latency p99 < 1e-9 over 1 windows"],
+    ))
+    assert watched == baseline
+
+
+def test_scraper_interval_choice_does_not_perturb():
+    coarse = _run(dict(timeline_interval=0.01))
+    fine = _run(dict(timeline_interval=0.0005))
+    assert coarse == fine == _run(None)
+
+
+@pytest.mark.parametrize("api,fpp,interleaved", [("DFS", True, False),
+                                                 ("POSIX", True, False)])
+def test_scraped_figures_byte_identical_to_seed(api, fpp, interleaved):
+    """The pinned pre-cache seed figures survive a live scraper."""
+    cluster = nextgenio(client_nodes=1)
+    cluster.observe(timeline_interval=0.005)
+    params = IorParams(
+        api=api,
+        file_per_proc=fpp,
+        interleaved=interleaved,
+        oclass="SX",
+        block_size="4m",
+        transfer_size="1m",
+        cache_mode="none",
+    )
+    result = run_ior(cluster, params, ppn=4)
+    assert (result.max_write_bw, result.max_read_bw) == SEED_FIGURES[
+        (api, fpp, interleaved)
+    ]
+    # and the scraper genuinely ran: windows were sampled
+    assert cluster.sim.timeline.store.n_windows > 0
+
+
+def test_scraped_runs_are_deterministic():
+    """Same seed + same interval => identical timeline JSON, twice."""
+    def timeline_doc():
+        cluster = small_cluster(server_nodes=2, client_nodes=1)
+        cluster.observe(timeline_interval=0.001)
+        params = IorParams(api="DFS", file_per_proc=True, oclass="SX",
+                           **SMALL)
+        run_ior(cluster, params, ppn=2)
+        return cluster.sim.timeline.store.to_json()
+
+    assert timeline_doc() == timeline_doc()
