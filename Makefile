@@ -11,7 +11,7 @@ CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
 .PHONY: test chaos bench bench-cache bench-rebuild bench-async \
-	bench-flows trace trace-cache timeline all
+	bench-flows bench-tenants trace trace-cache timeline all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -52,6 +52,23 @@ bench-flows:
 	mkdir -p artifacts
 	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_flows.py \
 		--out artifacts/BENCH_flows.json --check
+
+# Multi-tenant serving sweep: tenant count x arrival rate x QoS on/off,
+# plus the chaos noisy-neighbour cell. The sweep is seeded end to end,
+# so it runs twice and the machine-independent projections must match
+# byte for byte — the artifact doubles as a determinism gate.
+bench-tenants:
+	mkdir -p artifacts
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_tenants.py \
+		--out artifacts/BENCH_tenants.json \
+		--stable-out artifacts/BENCH_tenants.stable.json
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_tenants.py \
+		--out artifacts/BENCH_tenants.rerun.json \
+		--stable-out artifacts/BENCH_tenants.rerun.stable.json
+	cmp artifacts/BENCH_tenants.stable.json \
+		artifacts/BENCH_tenants.rerun.stable.json
+	rm artifacts/BENCH_tenants.rerun.json \
+		artifacts/BENCH_tenants.rerun.stable.json
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

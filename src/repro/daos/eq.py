@@ -131,12 +131,16 @@ class EventQueue:
     """
 
     def __init__(self, sim: Simulator, depth: Optional[int] = None,
-                 name: str = ""):
+                 name: str = "", metered: bool = True):
         if depth is not None and depth < 1:
             raise DerInval(f"event queue depth must be >= 1, got {depth}")
         self.sim = sim
         self.depth = depth
         self.name = name or f"eq{next(_eq_seq)}"
+        #: whether this queue exports its own labeled in-flight gauge;
+        #: short-lived per-job queues pass False so a 1000-job run does
+        #: not mint 1000 one-shot gauge series for the scraper to walk.
+        self.metered = metered
         self._next_eid = 0
         #: events launched and not yet reaped, in completion order
         self._completed: List[Event] = []
@@ -156,6 +160,8 @@ class EventQueue:
         return len(self._completed)
 
     def _gauge(self, delta: int) -> None:
+        if not self.metered:
+            return
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.gauge(f"client.eq.inflight{{eq={self.name}}}").add(

@@ -12,7 +12,8 @@ from repro.units import fmt_bw, fmt_size, fmt_time
 _MAX_RANK_ROWS = 16
 
 #: Max columns of a terminal timeline sparkline (downsampled above this).
-_SPARK_COLS = 60
+SPARK_COLS = 60
+_SPARK_COLS = SPARK_COLS
 
 _SPARK_CHARS = " ▁▂▃▄▅▆▇█"
 
@@ -175,8 +176,12 @@ class IorResult:
         return lines
 
 
-def _resample(series, start: float, end: float, cols: int) -> List[float]:
-    """Step-wise resample of a compressed series onto ``cols`` columns."""
+def resample(series, start: float, end: float, cols: int) -> List[float]:
+    """Step-wise resample of a compressed series onto ``cols`` columns.
+
+    Shared terminal-rendering helper (also used by the tenants report);
+    ``series`` is any object with step-compressed ``points``.
+    """
     if end <= start:
         return [v for _t, v in series.points[:cols]] or [0.0]
     step = (end - start) / cols
@@ -193,7 +198,8 @@ def _resample(series, start: float, end: float, cols: int) -> List[float]:
     return values
 
 
-def _sparkline(values: List[float]) -> str:
+def sparkline(values: List[float]) -> str:
+    """Unicode block sparkline scaled to the peak value."""
     peak = max(values)
     if peak <= 0:
         return " " * len(values)
@@ -202,3 +208,8 @@ def _sparkline(values: List[float]) -> str:
         _SPARK_CHARS[min(ticks, int(round(v / peak * ticks)))]
         for v in values
     )
+
+
+# Backwards-compatible aliases (pre-tenants callers used the private names).
+_resample = resample
+_sparkline = sparkline

@@ -49,16 +49,20 @@ RESERVOIR_CAP = 512
 def format_metric_name(base: str, labels: Optional[Dict[str, Any]] = None) -> str:
     """Canonical full name: ``base{k=v,...}`` with keys sorted.
 
-    Label values are stringified verbatim; they must not contain ``,``
-    ``{`` ``}`` or ``=`` (enforced here so every exporter can round-trip
-    the name).
+    Label keys and values are stringified verbatim; neither they nor the
+    base may contain ``,`` ``{`` ``}`` or ``=`` (enforced here so every
+    exporter — and :func:`parse_metric_name` — can round-trip the name).
     """
+    if any(ch in base for ch in ",{}="):
+        raise ValueError(
+            f"metric base name {base!r} contains a reserved character"
+        )
     if not labels:
         return base
     parts = []
     for key in sorted(labels):
         value = str(labels[key])
-        if any(ch in value for ch in ",{}=") or any(
+        if not key or any(ch in value for ch in ",{}=") or any(
             ch in key for ch in ",{}="
         ):
             raise ValueError(
@@ -69,13 +73,24 @@ def format_metric_name(base: str, labels: Optional[Dict[str, Any]] = None) -> st
 
 
 def parse_metric_name(full: str) -> Tuple[str, Dict[str, str]]:
-    """Split a full metric name into ``(base, labels)``."""
+    """Split a full metric name into ``(base, labels)``.
+
+    Strict inverse of :func:`format_metric_name`: raises ``ValueError``
+    on anything that would not round-trip — an unterminated label body,
+    a base containing ``}``, or a key/value carrying a reserved
+    character (``a{k=v}}`` and ``a{k=v=w}`` are malformed, not labels
+    with funny values).
+    """
     brace = full.find("{")
     if brace < 0:
+        if "}" in full or "=" in full or "," in full:
+            raise ValueError(f"malformed metric name {full!r}")
         return full, {}
     if not full.endswith("}"):
         raise ValueError(f"malformed metric name {full!r}")
     base = full[:brace]
+    if any(ch in base for ch in ",}="):
+        raise ValueError(f"malformed metric name {full!r}")
     labels: Dict[str, str] = {}
     body = full[brace + 1:-1]
     if body:
@@ -83,6 +98,13 @@ def parse_metric_name(full: str) -> Tuple[str, Dict[str, str]]:
             key, sep, value = item.partition("=")
             if not sep or not key:
                 raise ValueError(f"malformed metric label {item!r} in {full!r}")
+            if any(ch in key for ch in "{}=") or any(
+                ch in value for ch in "{}="
+            ):
+                raise ValueError(
+                    f"metric label {item!r} in {full!r} contains a "
+                    f"reserved character"
+                )
             labels[key] = value
     return base, labels
 

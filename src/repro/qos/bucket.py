@@ -1,0 +1,129 @@
+"""Deterministic sim-time token bucket and the bottleneck-fraction cap.
+
+Two QoS mechanisms live here:
+
+* :func:`bottleneck_cap` — the *rate-cap* discipline extracted from
+  :class:`repro.rebuild.throttle.RebuildThrottle`: given the
+  ``(link, weight)`` pairs a flow crosses, cap it to ``fraction`` of
+  its binding link's capacity. The flow network then enforces the cap
+  continuously while max-min fair sharing hands the rest to everyone
+  else. Best for long-lived background flows (rebuild migrations).
+
+* :class:`TokenBucket` — the classic *issue-rate* discipline: tokens
+  refill at ``rate`` per simulated second up to a ``burst`` ceiling,
+  and a consumer acquires ``n`` tokens before issuing ``n`` units of
+  work. Best for request-scoped traffic (per-tenant byte budgets in
+  :mod:`repro.tenants`), where flows are too short for a standing cap.
+
+The bucket runs on *debt accounting*: :meth:`TokenBucket.acquire`
+always deducts immediately, and when the level goes negative the
+acquirer sleeps exactly ``deficit / rate`` simulated seconds — the
+time at which the refill pays the debt back. Concurrent acquirers
+therefore serialise in deduction order (the simulator's deterministic
+event order), long-run issue rate is bounded by ``rate``, and no RNG
+is involved anywhere, so a bucketed run is a pure function of the
+seed.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Tuple
+
+from repro.errors import DerInval
+
+
+def bottleneck_cap(
+    weighted_links: Iterable[Tuple[object, float]], fraction: float
+) -> Optional[float]:
+    """Flow-rate cap: ``fraction`` of the binding link's capacity.
+
+    The binding constraint of a flow over ``(link, weight)`` pairs is
+    the link with the smallest ``capacity / weight`` ratio (a weight >
+    1 means the flow crosses that link with multiplied consumption).
+    Returns ``None`` — cap disabled — when ``fraction >= 1`` or no
+    weighted link binds.
+
+    This is the exact arithmetic
+    :class:`repro.rebuild.throttle.RebuildThrottle` has always used;
+    rebuild byte-identity across the extraction is pinned by
+    ``tests/qos/test_bucket.py`` and the rebuild chaos suite.
+    """
+    if fraction >= 1.0:
+        return None
+    bottleneck = min(
+        (link.capacity / weight for link, weight in weighted_links if weight > 0),
+        default=None,
+    )
+    if bottleneck is None:
+        return None
+    return fraction * bottleneck
+
+
+class TokenBucket:
+    """Deterministic token bucket over simulated time.
+
+    ``rate`` tokens accrue per simulated second up to ``burst``; the
+    bucket starts full. ``rate=None`` disables limiting (every acquire
+    is free), so call sites can keep one code path for QoS on/off.
+    """
+
+    __slots__ = ("sim", "rate", "burst", "_level", "_t")
+
+    def __init__(self, sim, rate: Optional[float], burst: float):
+        if rate is not None and rate <= 0:
+            raise DerInval(f"token rate must be positive, got {rate}")
+        if burst <= 0:
+            raise DerInval(f"token burst must be positive, got {burst}")
+        self.sim = sim
+        self.rate = None if rate is None else float(rate)
+        self.burst = float(burst)
+        self._level = self.burst
+        self._t = sim.now
+
+    # ----------------------------------------------------------- accounting
+    def _refill(self, now: float) -> None:
+        if now > self._t:
+            self._level = min(
+                self.burst, self._level + (now - self._t) * self.rate
+            )
+            self._t = now
+
+    @property
+    def level(self) -> float:
+        """Tokens available right now (negative while in debt)."""
+        if self.rate is None:
+            return self.burst
+        self._refill(self.sim.now)
+        return self._level
+
+    def try_acquire(self, n: float) -> bool:
+        """Take ``n`` tokens iff available without waiting."""
+        if self.rate is None:
+            return True
+        self._refill(self.sim.now)
+        if self._level < n:
+            return False
+        self._level -= n
+        return True
+
+    def acquire(self, n: float) -> Generator:
+        """Task helper: take ``n`` tokens, sleeping until the refill
+        covers any deficit. FIFO in deduction order; returns the
+        simulated seconds waited."""
+        if self.rate is None:
+            return 0.0
+        if n < 0:
+            raise DerInval(f"cannot acquire {n} tokens")
+        self._refill(self.sim.now)
+        self._level -= n
+        if self._level >= 0:
+            return 0.0
+        wait = -self._level / self.rate
+        yield wait
+        return wait
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TokenBucket rate={self.rate} burst={self.burst} "
+            f"level={self._level:.1f}>"
+        )

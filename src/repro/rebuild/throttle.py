@@ -8,11 +8,18 @@ intrinsic rate caps: every rebuild migration flow is opened with
 the rebuild may consume while max-min fair sharing hands everything else
 to foreground flows. ``fraction >= 1`` disables the throttle (the flow
 is then limited only by fair sharing).
+
+The cap arithmetic itself now lives in :func:`repro.qos.bottleneck_cap`
+(shared with the multi-tenant QoS layer); this class is the thin
+rebuild-flavoured wrapper and keeps byte-identical behaviour — same
+expression, same float evaluation order — pinned by ``tests/qos``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
+
+from repro.qos import bottleneck_cap
 
 
 class RebuildThrottle:
@@ -29,12 +36,4 @@ class RebuildThrottle:
         that link with multiplied consumption). Returns ``None`` when the
         throttle is disabled.
         """
-        if self.fraction >= 1.0:
-            return None
-        bottleneck = min(
-            (link.capacity / weight for link, weight in weighted_links if weight > 0),
-            default=None,
-        )
-        if bottleneck is None:
-            return None
-        return self.fraction * bottleneck
+        return bottleneck_cap(weighted_links, self.fraction)

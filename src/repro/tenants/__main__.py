@@ -1,0 +1,5 @@
+"""``python -m repro.tenants`` entry point."""
+
+from repro.tenants.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Admission control: bounded in-flight jobs, typed rejection.
+
+The serving layer sheds load the way a real DAOS service does — with a
+``DER_BUSY``-class error at submission time — rather than queueing
+without bound (an open-loop arrival process plus an unbounded queue is
+just a slow-motion OOM). Two limits apply per submission:
+
+* a **global** in-flight job bound (protects the engines), and
+* a **per-tenant** in-flight bound (no single tenant may occupy the
+  whole admission window — the first, cheapest fairness mechanism,
+  ahead of the token-bucket byte budgets).
+
+:class:`TenantRejected` subclasses :class:`~repro.errors.DerBusy`, so
+facade-level ``except daos.DerBusy`` handlers see tenant rejections as
+ordinary busy errors while tests can assert the precise type and
+reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import DerBusy, DerInval
+
+#: rejection reasons
+REASON_GLOBAL = "global-limit"
+REASON_TENANT = "tenant-limit"
+
+
+class TenantRejected(DerBusy):
+    """A job was refused admission (``DER_BUSY``-style, typed)."""
+
+    def __init__(self, tenant_id: str, reason: str, limit: int):
+        self.tenant_id = tenant_id
+        self.reason = reason
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant_id}: admission rejected ({reason}, limit {limit})"
+        )
+
+
+class AdmissionController:
+    """Counting admission window over in-flight jobs."""
+
+    def __init__(self, max_inflight: int = 64,
+                 max_inflight_per_tenant: int = 4):
+        if max_inflight < 1 or max_inflight_per_tenant < 1:
+            raise DerInval("admission limits must be >= 1")
+        self.max_inflight = max_inflight
+        self.max_inflight_per_tenant = max_inflight_per_tenant
+        self.inflight = 0
+        self.inflight_by_tenant: Dict[str, int] = {}
+        # cumulative accounting (the dispatcher mirrors these to metrics)
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {REASON_GLOBAL: 0, REASON_TENANT: 0}
+
+    def admit(self, tenant_id: str) -> None:
+        """Claim one in-flight slot or raise :class:`TenantRejected`.
+
+        The per-tenant bound is checked first: when both limits bind,
+        the rejection names the tenant's own occupancy, not the shared
+        window — the actionable signal for a client backing off.
+        """
+        mine = self.inflight_by_tenant.get(tenant_id, 0)
+        if mine >= self.max_inflight_per_tenant:
+            self.rejected[REASON_TENANT] += 1
+            raise TenantRejected(
+                tenant_id, REASON_TENANT, self.max_inflight_per_tenant
+            )
+        if self.inflight >= self.max_inflight:
+            self.rejected[REASON_GLOBAL] += 1
+            raise TenantRejected(tenant_id, REASON_GLOBAL, self.max_inflight)
+        self.inflight += 1
+        self.inflight_by_tenant[tenant_id] = mine + 1
+        self.admitted += 1
+
+    def release(self, tenant_id: str) -> None:
+        """Return one in-flight slot (job completed or failed)."""
+        mine = self.inflight_by_tenant.get(tenant_id, 0)
+        if mine <= 0 or self.inflight <= 0:
+            raise DerInval(
+                f"release without admit for tenant {tenant_id}"
+            )
+        self.inflight -= 1
+        if mine == 1:
+            del self.inflight_by_tenant[tenant_id]
+        else:
+            self.inflight_by_tenant[tenant_id] = mine - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<AdmissionController {self.inflight}/{self.max_inflight} "
+            f"tenants={len(self.inflight_by_tenant)}>"
+        )

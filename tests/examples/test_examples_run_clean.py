@@ -1,0 +1,51 @@
+"""Every shipped example runs warning-clean and deterministically.
+
+Examples are the de-facto API documentation, so they must stay on the
+public :mod:`repro.daos.api` facade: any DeprecationWarning (deep
+import, legacy positional flag) escalates to an error here via
+``-W error``. ``weather_fields`` additionally pins cross-process
+determinism — its field seeds once came from Python's salted ``hash()``
+and changed every run.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def _run(script: pathlib.Path) -> str:
+    env = {
+        "PYTHONPATH": str(REPO / "src"),
+        "PYTHONHASHSEED": "random",  # determinism must not rely on it
+    }
+    proc = subprocess.run(
+        [sys.executable, "-W", "error", str(script)],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed under -W error:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+def test_examples_are_discovered():
+    names = {p.name for p in EXAMPLES}
+    assert "weather_fields.py" in names and len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs_clean_under_w_error(script):
+    out = _run(script)
+    assert out  # every example prints a result block
+
+
+def test_weather_fields_output_is_process_deterministic():
+    script = REPO / "examples" / "weather_fields.py"
+    assert _run(script) == _run(script)

@@ -39,13 +39,53 @@ def test_label_names_round_trip():
 
 
 def test_label_reserved_characters_rejected():
-    for bad in ({"a": "x,y"}, {"a": "x=y"}, {"a": "{"}, {"k=": "v"}):
+    for bad in ({"a": "x,y"}, {"a": "x=y"}, {"a": "{"}, {"k=": "v"},
+                {"a": "x}y"}, {"": "v"}):
         with pytest.raises(ValueError):
             format_metric_name("m", bad)
     with pytest.raises(ValueError):
         parse_metric_name("m{unclosed")
     with pytest.raises(ValueError):
         parse_metric_name("m{novalue}")
+
+
+def test_format_rejects_reserved_characters_in_base():
+    for bad_base in ("a{b", "a}b", "a=b", "a,b", "a{k=v}"):
+        with pytest.raises(ValueError):
+            format_metric_name(bad_base, {"k": "v"})
+        with pytest.raises(ValueError):
+            format_metric_name(bad_base)
+
+
+def test_parse_rejects_unroundtrippable_names():
+    # Every one of these used to parse "successfully" into labels that
+    # format_metric_name would then refuse — a silent round-trip break.
+    for malformed in (
+        "a{k=v}}",      # extra closing brace swallowed into the value
+        "a{k=v=w}",     # '=' inside a value
+        "a{k={x}",      # '{' inside a value
+        "a}b",          # stray brace, no label body
+        "a=b",          # stray '=' outside any label body
+        "a,b",          # stray ',' outside any label body
+        "a}b{k=v}",     # brace inside the base
+        "a{k}=v}",      # brace inside the key
+    ):
+        with pytest.raises(ValueError):
+            parse_metric_name(malformed)
+
+
+def test_parse_format_round_trip_is_exact():
+    cases = [
+        ("plain.name", {}),
+        ("tenant.request.latency", {"tenant": "t007"}),
+        ("rebuild.bytes_moved", {"pool": "tank", "target": "5"}),
+        ("m", {"k": ""}),  # empty value survives the trip
+    ]
+    for base, labels in cases:
+        full = format_metric_name(base, labels)
+        got_base, got_labels = parse_metric_name(full)
+        assert (got_base, got_labels) == (base, labels)
+        assert format_metric_name(got_base, got_labels) == full
 
 
 def test_registry_keys_on_canonical_labeled_name():
@@ -347,6 +387,49 @@ def test_threshold_breach_streak_and_rearm():
     assert breaches[0].time == pytest.approx(0.2)
     assert breaches[1].time > 0.65
     assert reg.counters["obs.slo.breaches"].value == 2
+
+
+def test_labeled_series_rule_breaches_only_the_violating_tenant():
+    """A p99 rule over one labeled series (``tenant.request.latency
+    {tenant=t1}``) fires for exactly that tenant — a sibling label
+    violating harder never trips it — and re-arms after clean windows."""
+    rule = "tenant.request.latency{tenant=t1} p99 < 0.01 over 2 windows"
+    sim = _observed_sim(interval=0.1, rules=[rule])
+    reg = sim.metrics
+
+    def work():
+        h1 = reg.histogram("tenant.request.latency", {"tenant": "t1"})
+        h2 = reg.histogram("tenant.request.latency", {"tenant": "t2"})
+        # phase 1: t1 violates (50 ms >> 10 ms bound), t2 is clean
+        for _ in range(4):
+            h1.observe(0.05)
+            h2.observe(0.001)
+            yield 0.1
+        # phase 2: t1 recovers; t2 now violates wildly — not its rule
+        for _ in range(3):
+            h1.observe(0.001)
+            h2.observe(9.0)
+            yield 0.1
+        # phase 3: t1 violates again => the re-armed rule fires once more
+        for _ in range(3):
+            h1.observe(0.05)
+            h2.observe(9.0)
+            yield 0.1
+
+    sim.run_until_complete(sim.spawn(work(), "work"))
+    breaches = sim.timeline.store.breaches
+    assert len(breaches) == 2
+    assert all(
+        b.metric == "tenant.request.latency{tenant=t1}" for b in breaches
+    )
+    # first breach after two violating windows, second only in phase 3
+    assert breaches[0].time == pytest.approx(0.2)
+    assert breaches[1].time > 0.7
+    # the scraper tracked both labeled series independently
+    store = sim.timeline.store
+    assert "tenant.request.latency{tenant=t2}:p99" in store.series
+    t2_p99 = store.series["tenant.request.latency{tenant=t2}:p99"]
+    assert t2_p99.value_at(0.95) > 1.0  # t2 really was violating
 
 
 def test_breach_lands_in_trace_and_metrics_and_store():

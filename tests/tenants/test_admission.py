@@ -1,0 +1,71 @@
+"""Admission control: bounds, typed rejection, release accounting."""
+
+import pytest
+
+from repro.errors import DerBusy, DerInval
+from repro.tenants import (
+    REASON_GLOBAL,
+    REASON_TENANT,
+    AdmissionController,
+    TenantRejected,
+)
+
+
+def test_per_tenant_limit_binds_first():
+    adm = AdmissionController(max_inflight=10, max_inflight_per_tenant=2)
+    adm.admit("a")
+    adm.admit("a")
+    with pytest.raises(TenantRejected) as exc:
+        adm.admit("a")
+    assert exc.value.reason == REASON_TENANT
+    assert exc.value.tenant_id == "a"
+    assert exc.value.limit == 2
+    # another tenant still gets in
+    adm.admit("b")
+    assert adm.inflight == 3
+    assert adm.rejected == {REASON_GLOBAL: 0, REASON_TENANT: 1}
+
+
+def test_global_limit_rejects_across_tenants():
+    adm = AdmissionController(max_inflight=3, max_inflight_per_tenant=2)
+    adm.admit("a")
+    adm.admit("a")
+    adm.admit("b")
+    with pytest.raises(TenantRejected) as exc:
+        adm.admit("c")
+    assert exc.value.reason == REASON_GLOBAL
+    assert adm.rejected[REASON_GLOBAL] == 1
+
+
+def test_rejection_is_a_der_busy():
+    adm = AdmissionController(max_inflight=1, max_inflight_per_tenant=1)
+    adm.admit("a")
+    with pytest.raises(DerBusy):  # facade-level handlers see DER_BUSY
+        adm.admit("b")
+
+
+def test_release_reopens_the_window():
+    adm = AdmissionController(max_inflight=1, max_inflight_per_tenant=1)
+    adm.admit("a")
+    adm.release("a")
+    adm.admit("b")  # no longer rejected
+    assert adm.inflight == 1
+    assert adm.inflight_by_tenant == {"b": 1}
+    assert adm.admitted == 2
+
+
+def test_release_without_admit_is_an_error():
+    adm = AdmissionController()
+    with pytest.raises(DerInval):
+        adm.release("ghost")
+    adm.admit("a")
+    adm.release("a")
+    with pytest.raises(DerInval):
+        adm.release("a")
+
+
+def test_limits_must_be_positive():
+    with pytest.raises(DerInval):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(DerInval):
+        AdmissionController(max_inflight_per_tenant=0)
