@@ -11,7 +11,7 @@ CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
 .PHONY: test chaos bench bench-cache bench-rebuild bench-async \
-	bench-flows bench-tenants trace trace-cache timeline all
+	bench-flows bench-tenants bench-fdb trace trace-cache timeline all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -69,6 +69,23 @@ bench-tenants:
 		artifacts/BENCH_tenants.rerun.stable.json
 	rm artifacts/BENCH_tenants.rerun.json \
 		artifacts/BENCH_tenants.rerun.stable.json
+
+# Field-database sweep: object size x backend x sync/async plus the
+# Lustre contrast and the 100k-field acceptance run. Seeded end to end:
+# runs twice and the machine-independent projections (which hash the
+# 100k run's full report and timeline JSON) must match byte for byte.
+bench-fdb:
+	mkdir -p artifacts
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_fdb.py \
+		--out artifacts/BENCH_fdb.json \
+		--stable-out artifacts/BENCH_fdb.stable.json
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_fdb.py \
+		--out artifacts/BENCH_fdb.rerun.json \
+		--stable-out artifacts/BENCH_fdb.rerun.stable.json
+	cmp artifacts/BENCH_fdb.stable.json \
+		artifacts/BENCH_fdb.rerun.stable.json
+	rm artifacts/BENCH_fdb.rerun.json \
+		artifacts/BENCH_fdb.rerun.stable.json
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

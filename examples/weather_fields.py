@@ -1,117 +1,48 @@
 #!/usr/bin/env python
-"""Weather-field I/O on the native DAOS API (the ECMWF use case).
+"""Weather-field archiving on the field database (the ECMWF use case).
 
 The paper's authors come from numerical weather prediction: their
 motivating workload stores millions of *fields* (2-D grids, a few MiB
-each) indexed by metadata (parameter, level, step) — an FDB-style object
-store. This example builds exactly that on libdaos: a KV object as the
-field index, one array object per field, no filesystem anywhere. Field
-writes are pipelined through an event queue (the async libdaos path), as
-a real archiver would keep several fields in flight.
+each) addressed by metadata (parameter, level, step) — an FDB-style
+object store. :mod:`repro.fdb` is that subsystem; this example is the
+thin demo on top of it: archive one forecast cycle's grid through the
+native KV mapping with writes pipelined through an event queue (the
+async libdaos path, as a real archiver keeps several fields in flight),
+land a flush landmark, then retrieve one parameter across all steps the
+way product generation would.
 
 Run:  python examples/weather_fields.py
 """
 
-import zlib
-
-from repro.cluster import nextgenio
-from repro.daos.api import (
-    S2,
-    DaosArray,
-    DaosKV,
-    EventQueue,
-    ObjId,
-    PatternPayload,
-)
+from repro.fdb import FdbParams, FieldQuery, build_report, run_fdb
 from repro.units import MiB, fmt_bw, fmt_size
 
 GRID_BYTES = 2 * MiB  # one 2-D field, e.g. O1280 surface grid packed
-PARAMS = ("t2m", "u10", "v10", "msl")
-STEPS = range(0, 12, 3)
 AIO_DEPTH = 4  # fields kept in flight while archiving
 
 
-def field_seed(param: str, step: int) -> int:
-    """Stable content seed (``hash()`` is salted per process — using it
-    here would make payloads differ between runs)."""
-    return zlib.crc32(f"{param}/{step}".encode()) & 0xFFFF
-
-
-def producer(cont, sim):
-    """One forecast step: write every field and index it, pipelined."""
-    index = yield from DaosKV.create(cont, S2)
-    eq = EventQueue(sim, depth=AIO_DEPTH, name="archiver")
-    start = sim.now
-    nbytes = 0
-
-    def archive_one(param, step):
-        field = yield from DaosArray.create(
-            cont, cell_size=4, chunk_cells=MiB // 4, oclass=S2
-        )
-        try:
-            yield from field.write(
-                0,
-                PatternPayload(
-                    seed=field_seed(param, step), origin=0, nbytes=GRID_BYTES
-                ),
-            )
-            yield from index.put(
-                f"fc/{param}/step={step:03d}",
-                (field.obj.oid.hi, field.obj.oid.lo),
-            )
-        finally:
-            field.close()
-        return GRID_BYTES
-
-    for step in STEPS:
-        for param in PARAMS:
-            yield from eq.submit(
-                archive_one(param, step), name=f"fc/{param}/{step}"
-            )
-    for event in (yield from eq.drain()):
-        nbytes += event.result
-    yield from eq.close()
-    elapsed = sim.now - start
-    return index, nbytes, elapsed
-
-
-def consumer(cont, index_oid, sim):
-    """A product-generation task: read one parameter across all steps."""
-    index = DaosKV.open(cont, index_oid)
-    keys = yield from index.list(prefix="fc/t2m/")
-    start = sim.now
-    nbytes = 0
-    for key in keys:
-        hi, lo = yield from index.get(key)
-        field = yield from DaosArray.open(cont, ObjId(hi, lo))
-        data = yield from field.read(0, GRID_BYTES // field.cell_size)
-        assert data.nbytes == GRID_BYTES
-        nbytes += data.nbytes
-        field.close()
-    index.close()
-    return keys, nbytes, sim.now - start
-
-
 def main() -> None:
-    cluster = nextgenio(client_nodes=1)
-    client = cluster.new_client(0)
+    params = FdbParams(
+        backend="kv",          # field bytes as KV values, KV index
+        n_params=4,            # t2m, u10, v10, msl
+        n_steps=4,             # steps 0, 3, 6, 9
+        field_bytes=GRID_BYTES,
+        depth=AIO_DEPTH,
+        retrieve_params=("t2m",),  # product generation wants one param
+    )
+    result, _cluster = run_fdb(params)
+    report = build_report(result)
 
-    def run():
-        pool = yield from client.connect_pool("tank")
-        cont = yield from pool.create_container("fdb", oclass="S2")
-        index, wrote, w_elapsed = yield from producer(cont, cluster.sim)
-        keys, read, r_elapsed = yield from consumer(
-            cont, index.oid, cluster.sim
-        )
-        index.close()
-        return wrote, w_elapsed, keys, read, r_elapsed
-
-    wrote, w_elapsed, keys, read, r_elapsed = cluster.run(run())
-    print(f"archived {len(PARAMS) * len(list(STEPS))} fields "
-          f"({fmt_size(wrote)}) at {fmt_bw(wrote / w_elapsed)}")
-    print(f"retrieved {len(keys)} t2m fields ({fmt_size(read)}) "
-          f"at {fmt_bw(read / r_elapsed)}")
-    print("index keys:", ", ".join(keys))
+    archive, retrieve = report["archive"], report["retrieve"]
+    print(f"archived {archive['fields']} fields "
+          f"({fmt_size(int(archive['bytes']))}) at "
+          f"{fmt_bw(archive['bandwidth'])}")
+    landmark = report["landmarks"][0]
+    print(f"landmark {landmark['name']!r} after {landmark['fields']} fields")
+    print(f"retrieved {retrieve['fields']} t2m fields "
+          f"({fmt_size(int(retrieve['bytes']))}) at "
+          f"{fmt_bw(retrieve['bandwidth'])}")
+    print("matched keys:", ", ".join(result["matched"]))
 
 
 if __name__ == "__main__":

@@ -171,8 +171,17 @@ class Engine:
         self.server.set_unavailable(None)
 
     # ------------------------------------------------------------- RPC timing
-    def _service(self, local_tid: int, media_ops: int = 1) -> Generator:
-        """Per-metadata-RPC engine work: credits + CPU + media latency."""
+    def _service(self, local_tid: int, media_ops: int = 1,
+                 media_bytes: int = 0, read: bool = False) -> Generator:
+        """Per-metadata-RPC engine work: credits + CPU + media latency.
+
+        ``media_bytes`` adds an inline value-streaming charge at the
+        target's media bandwidth (write by default, read bandwidth when
+        ``read``) under the same ULT credit — the timing model for
+        KV values large enough that moving the bytes dominates the
+        fixed per-record cost. Zero (the default) leaves the historical
+        fixed-cost arithmetic untouched.
+        """
         sim = self.sim
         tracer = sim.tracer
         metrics = sim.metrics
@@ -211,9 +220,14 @@ class Engine:
         )
         try:
             self.stats.incr("rpcs")
-            yield self.spec.per_rpc_cpu + media_ops * (
+            cost = self.spec.per_rpc_cpu + media_ops * (
                 self.spec.module.access_latency + self.media_latency_extra
             )
+            if media_bytes:
+                bw = (self.spec.target_read_bw if read
+                      else self.spec.target_write_bw)
+                cost += media_bytes / bw
+            yield cost
         finally:
             guard.release()
             if tracer is not None:
@@ -238,17 +252,18 @@ class Engine:
 
     def _h_kv_update(
         self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, value,
-        map_version=None,
+        map_version=None, nbytes: int = 0,
     ) -> Generator:
         self.check_map_version(pool, map_version)
-        yield from self._service(local_tid, media_ops=2)
+        yield from self._service(local_tid, media_ops=2, media_bytes=nbytes)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.update_single(oid, dkey, akey, value)
 
     def _h_kv_fetch(
-        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, epoch=None
+        self, _src, pool: str, cont: str, local_tid: int, oid, dkey, akey, epoch=None,
+        nbytes: int = 0,
     ) -> Generator:
-        yield from self._service(local_tid)
+        yield from self._service(local_tid, media_bytes=nbytes, read=True)
         vc = self.container_shard(pool, local_tid, cont)
         return vc.fetch_single(oid, dkey, akey, epoch)
 

@@ -212,15 +212,24 @@ class ObjectHandle:
             name, "client", node=self.client.node.name, attrs=attrs or None
         )
 
-    def put(self, dkey, akey, value) -> Generator:
+    def put(self, dkey, akey, value, value_nbytes: int = 0) -> Generator:
         """Write a single value to every writable replica of the dkey's
         group (REBUILDING targets included — that is what bounds the
-        resync window)."""
+        resync window).
+
+        ``value_nbytes`` declares the modelled wire/media size of the
+        value (an inline-bulk KV update): the request carries that many
+        extra bytes across the fabric and the engine streams them to
+        media at the target's write bandwidth. Zero (the default) keeps
+        the fixed small-record cost every metadata path relies on.
+        """
         return (
-            yield from self._retry_stale(lambda: self._put_once(dkey, akey, value))
+            yield from self._retry_stale(
+                lambda: self._put_once(dkey, akey, value, value_nbytes)
+            )
         )
 
-    def _put_once(self, dkey, akey, value) -> Generator:
+    def _put_once(self, dkey, akey, value, value_nbytes: int = 0) -> Generator:
         pool_map = self.cont.pool.pool_map
         targets = self._writable(self._route_for_dkey(dkey))
         if not targets:
@@ -229,41 +238,53 @@ class ObjectHandle:
         with self._span("client.kv_put", replicas=len(targets)):
             for tid in targets:
                 ref = self.system.target(tid)
-                epoch = yield from self.client.rpc.call(
-                    ref.engine.name,
-                    "kv_update",
-                    {
-                        "pool": pool_map.uuid,
-                        "cont": self.cont.uuid,
-                        "local_tid": ref.local_tid,
-                        "oid": self.oid,
-                        "dkey": dkey,
-                        "akey": akey,
-                        "value": value,
-                        "map_version": pool_map.version,
-                    },
-                )
-        return epoch
-
-    def get(self, dkey, akey, epoch: Optional[int] = None) -> Generator:
-        """Read a single value from the first readable replica."""
-        targets = self._readable(self._route_for_dkey(dkey))
-        if not targets:
-            raise DerDataLoss(f"no live replica for dkey {dkey!r}")
-        ref = self.system.target(targets[0])
-        with self._span("client.kv_get"):
-            value = yield from self.client.rpc.call(
-                ref.engine.name,
-                "kv_fetch",
-                {
-                    "pool": self.cont.pool.pool_map.uuid,
+                args = {
+                    "pool": pool_map.uuid,
                     "cont": self.cont.uuid,
                     "local_tid": ref.local_tid,
                     "oid": self.oid,
                     "dkey": dkey,
                     "akey": akey,
-                    "epoch": epoch,
-                },
+                    "value": value,
+                    "map_version": pool_map.version,
+                }
+                if value_nbytes:
+                    args["nbytes"] = value_nbytes
+                epoch = yield from self.client.rpc.call(
+                    ref.engine.name,
+                    "kv_update",
+                    args,
+                    req_bytes=256 + value_nbytes,
+                )
+        return epoch
+
+    def get(self, dkey, akey, epoch: Optional[int] = None,
+            value_nbytes: int = 0) -> Generator:
+        """Read a single value from the first readable replica.
+
+        ``value_nbytes`` mirrors :meth:`put`: the reply carries that
+        many extra bytes and the engine charges a media read stream."""
+        targets = self._readable(self._route_for_dkey(dkey))
+        if not targets:
+            raise DerDataLoss(f"no live replica for dkey {dkey!r}")
+        ref = self.system.target(targets[0])
+        args = {
+            "pool": self.cont.pool.pool_map.uuid,
+            "cont": self.cont.uuid,
+            "local_tid": ref.local_tid,
+            "oid": self.oid,
+            "dkey": dkey,
+            "akey": akey,
+            "epoch": epoch,
+        }
+        if value_nbytes:
+            args["nbytes"] = value_nbytes
+        with self._span("client.kv_get"):
+            value = yield from self.client.rpc.call(
+                ref.engine.name,
+                "kv_fetch",
+                args,
+                rep_bytes=256 + value_nbytes,
             )
         return value
 

@@ -1,0 +1,5 @@
+"""``python -m repro.fdb`` entry point."""
+
+from repro.fdb.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,266 @@
+"""Pluggable field indexes: how a schema key finds its field.
+
+Two index families, matching the designs the NWP follow-up papers
+compare:
+
+- :class:`KvIndex` — entries in one DaosKV object (``e/<canonical>`` →
+  location record, ``L/<name>`` → landmark). Lookup is one KV fetch;
+  predicate scans ride the ordered paginated prefix enumeration
+  (:meth:`repro.daos.kv.DaosKV.scan`).
+- :class:`DfsTreeIndex` / :class:`LustreTreeIndex` — the POSIX-era
+  contrast: a directory tree (``/index/param/level/step.member.date``)
+  whose entry files hold the location record as JSON bytes. Lookup is a
+  path walk + read; scans are recursive ``readdir`` walks pruned by the
+  query's concrete axes — metadata-RPC-heavy in exactly the way that
+  pushed FDB off parallel filesystems.
+
+Both speak :class:`~repro.fdb.schema.FieldQuery` for scans, so the
+retriever is oblivious to which one is wired in.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.daos.api import DaosKV
+from repro.daos.vos.payload import BytesPayload
+from repro.errors import DerInval, DerNonexist, FsError
+from repro.fdb.mapping import (
+    INDEX_ROOT,
+    LANDMARK_ROOT,
+    FdbContext,
+    dirs_for,
+    field_file,
+)
+from repro.fdb.schema import FieldKey, FieldQuery
+
+#: KV-index key namespaces (single character so entries sort together)
+ENTRY_PREFIX = "e/"
+LANDMARK_PREFIX = "L/"
+
+#: upper bound on an entry record's JSON size (reads clamp at EOF)
+_RECORD_MAX = 1 << 16
+
+
+class FdbIndex:
+    """Index interface: canonical key → location record."""
+
+    name = "?"
+
+    def setup(self, ctx: FdbContext) -> Generator:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def prepare(self, ctx: FdbContext, keys: Sequence[FieldKey]) -> Generator:
+        """Task helper: sequential pre-burst namespace prep (tree
+        indexes create their directory levels here)."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def insert(self, ctx: FdbContext, key: FieldKey, entry: dict) -> Generator:
+        raise NotImplementedError
+
+    def lookup(self, ctx: FdbContext, key: FieldKey) -> Generator:
+        """Task helper: the key's entry record (DerNonexist if absent)."""
+        raise NotImplementedError
+
+    def scan(self, ctx: FdbContext, query: FieldQuery) -> Generator:
+        """Task helper: every indexed key matching ``query``, sorted by
+        canonical order."""
+        raise NotImplementedError
+
+    def landmark(self, ctx: FdbContext, name: str, record: dict) -> Generator:
+        """Task helper: persist a named durability landmark (the flush
+        marker consumers poll before trusting a forecast cycle)."""
+        raise NotImplementedError
+
+    def get_landmark(self, ctx: FdbContext, name: str) -> Generator:
+        raise NotImplementedError
+
+
+class KvIndex(FdbIndex):
+    """Entries and landmarks in one DaosKV object."""
+
+    name = "kv"
+
+    def setup(self, ctx) -> Generator:
+        if ctx.index_kv is None:
+            ctx.index_kv = yield from DaosKV.create(ctx.cont, ctx.oclass)
+        return None
+
+    def insert(self, ctx, key, entry) -> Generator:
+        yield from ctx.index_kv.put(ENTRY_PREFIX + key.canonical, entry)
+        return None
+
+    def lookup(self, ctx, key) -> Generator:
+        entry = yield from ctx.index_kv.get(ENTRY_PREFIX + key.canonical)
+        return entry
+
+    def scan(self, ctx, query) -> Generator:
+        names = yield from ctx.index_kv.scan(ENTRY_PREFIX + query.prefix())
+        out: List[FieldKey] = []
+        for name in names:
+            key = FieldKey.from_canonical(name[len(ENTRY_PREFIX):])
+            if query.matches(key):
+                out.append(key)
+        return out
+
+    def landmark(self, ctx, name, record) -> Generator:
+        yield from ctx.index_kv.put(LANDMARK_PREFIX + name, record)
+        return None
+
+    def get_landmark(self, ctx, name) -> Generator:
+        record = yield from ctx.index_kv.get(LANDMARK_PREFIX + name)
+        return record
+
+
+class _TreeIndex(FdbIndex):
+    """Directory-tree index skeleton over an abstract namespace."""
+
+    # -- namespace primitives supplied by the concrete variant
+    def _mkdirs(self, ctx, dirs: Sequence[str]) -> Generator:
+        raise NotImplementedError
+
+    def _readdir(self, ctx, path: str) -> Generator:
+        raise NotImplementedError
+
+    def _write_file(self, ctx, path: str, data: bytes) -> Generator:
+        raise NotImplementedError
+
+    def _read_file(self, ctx, path: str) -> Generator:
+        raise NotImplementedError
+
+    # -- index interface
+    def prepare(self, ctx, keys) -> Generator:
+        dirs = dirs_for(keys, INDEX_ROOT)
+        dirs.append(LANDMARK_ROOT)
+        yield from self._mkdirs(ctx, dirs)
+        return None
+
+    def insert(self, ctx, key, entry) -> Generator:
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        yield from self._write_file(ctx, field_file(key, INDEX_ROOT), data)
+        return None
+
+    def lookup(self, ctx, key) -> Generator:
+        data = yield from self._read_file(ctx, field_file(key, INDEX_ROOT))
+        return json.loads(data.decode("utf-8"))
+
+    def scan(self, ctx, query) -> Generator:
+        out: List[FieldKey] = []
+        try:
+            params = yield from self._readdir(ctx, INDEX_ROOT)
+        except (DerNonexist, FsError):
+            return out  # nothing archived yet
+        for param in params:
+            if query.param is not None and param not in query.param:
+                continue
+            param_dir = f"{INDEX_ROOT}/{param}"
+            levels = yield from self._readdir(ctx, param_dir)
+            for level_name in levels:
+                level = int(level_name)
+                if query.level is not None and level not in query.level:
+                    continue
+                names = yield from self._readdir(
+                    ctx, f"{param_dir}/{level_name}"
+                )
+                for name in names:
+                    key = _parse_leaf(param, level, name)
+                    if query.matches(key):
+                        out.append(key)
+        out.sort(key=lambda k: k.canonical)
+        return out
+
+    def landmark(self, ctx, name, record) -> Generator:
+        if "/" in name:
+            raise DerInval(f"bad landmark name {name!r}")
+        data = json.dumps(record, sort_keys=True).encode("utf-8")
+        yield from self._write_file(ctx, f"{LANDMARK_ROOT}/{name}", data)
+        return None
+
+    def get_landmark(self, ctx, name) -> Generator:
+        data = yield from self._read_file(ctx, f"{LANDMARK_ROOT}/{name}")
+        return json.loads(data.decode("utf-8"))
+
+
+def _parse_leaf(param: str, level: int, name: str) -> FieldKey:
+    try:
+        step, member, date = name.split(".")
+        return FieldKey(param, level, int(step), int(member), date)
+    except (ValueError, DerInval) as exc:
+        raise DerInval(f"malformed index leaf {name!r}") from exc
+
+
+class DfsTreeIndex(_TreeIndex):
+    """Directory-tree index on the DFS namespace."""
+
+    name = "tree"
+
+    def _mkdirs(self, ctx, dirs) -> Generator:
+        from repro.fdb.mapping import _make_dfs_dirs
+
+        yield from _make_dfs_dirs(ctx, dirs)
+        return None
+
+    def _readdir(self, ctx, path) -> Generator:
+        names = yield from ctx.dfs.readdir(path)
+        return names
+
+    def _write_file(self, ctx, path, data) -> Generator:
+        handle = yield from ctx.dfs.open_file(path, create=True)
+        try:
+            yield from handle.write(0, BytesPayload(data))
+        finally:
+            handle.close()
+        return None
+
+    def _read_file(self, ctx, path) -> Generator:
+        handle = yield from ctx.dfs.open_file(path)
+        try:
+            payload = yield from handle.read(0, _RECORD_MAX)
+        finally:
+            handle.close()
+        return payload.materialize()
+
+
+class LustreTreeIndex(_TreeIndex):
+    """Directory-tree index on the Lustre namespace."""
+
+    name = "tree"
+
+    def _mkdirs(self, ctx, dirs) -> Generator:
+        from repro.fdb.mapping import _make_lustre_dirs
+
+        yield from _make_lustre_dirs(ctx, dirs)
+        return None
+
+    def _readdir(self, ctx, path) -> Generator:
+        names = yield from ctx.mount.readdir(path)
+        return names
+
+    def _write_file(self, ctx, path, data) -> Generator:
+        handle = yield from ctx.mount.open(path, flags=("w", "creat"))
+        try:
+            yield from handle.pwrite(0, BytesPayload(data))
+        finally:
+            yield from handle.close()
+        return None
+
+    def _read_file(self, ctx, path) -> Generator:
+        handle = yield from ctx.mount.open(path)
+        try:
+            payload = yield from handle.pread(0, _RECORD_MAX)
+        finally:
+            yield from handle.close()
+        return payload.materialize()
+
+
+def make_index(name: str, backend: str) -> FdbIndex:
+    """Index factory: ``kv`` or ``tree`` (tree picks the variant that
+    matches the backend's namespace)."""
+    if name == "kv":
+        return KvIndex()
+    if name == "tree":
+        return LustreTreeIndex() if backend == "lustre" else DfsTreeIndex()
+    raise DerInval(f"unknown index {name!r} (one of ['kv', 'tree'])")

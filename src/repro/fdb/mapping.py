@@ -1,0 +1,269 @@
+"""Pluggable field-object mappings: where a field's bytes live.
+
+The follow-up papers' central question is how to map *one field* (64 KiB
+to 16 MiB of packed grid data) onto the storage interfaces DAOS offers:
+
+- :class:`ArrayPerField` — one ``DaosArray`` object per field (the
+  native object path; chunks stripe across targets, so large fields get
+  multi-target bandwidth at the cost of per-object setup).
+- :class:`KvValueField` — the field is a single KV value under its
+  canonical key (one RPC per field; value bytes stream to the key's one
+  home target — unbeatable small, single-target-bound large).
+- :class:`DfsFilePerField` — one DFS file per field in a directory tree
+  (the POSIX-style layout FDB used before DAOS; pays namespace lookups
+  and inode metadata on every field).
+- :class:`LustreFilePerField` — the same file-per-field layout on the
+  simulated Lustre filesystem, for the paper's parallel-filesystem
+  contrast runs.
+
+A mapping is a stateless strategy object: per-run state (container, data
+KV, mounts, created-directory memo) lives in the :class:`FdbContext`
+the driver threads through every call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.daos.api import DaosArray, DaosKV, ObjId
+from repro.daos.oclass import ObjectClass
+from repro.errors import DerExist, DerInval, FsError
+from repro.fdb.schema import FieldKey
+from repro.units import MiB
+
+#: root directories of the file-per-field namespace layouts
+DATA_ROOT = "/fields"
+INDEX_ROOT = "/index"
+LANDMARK_ROOT = "/landmarks"
+
+
+class FdbContext:
+    """Per-run state shared by the mapping, index and pipelines."""
+
+    def __init__(
+        self,
+        sim,
+        cont=None,
+        dfs=None,
+        mount=None,
+        oclass: Optional[ObjectClass] = None,
+        chunk_bytes: int = MiB,
+    ):
+        self.sim = sim
+        self.cont = cont          # ContainerHandle (daos backends)
+        self.dfs = dfs            # mounted Dfs (dfs mapping / tree index)
+        self.mount = mount        # LustreMount (lustre backend)
+        self.oclass = oclass      # ObjectClass for data objects
+        self.chunk_bytes = chunk_bytes
+        self.data_kv: Optional[DaosKV] = None   # KvValueField storage
+        self.index_kv: Optional[DaosKV] = None  # KvIndex storage
+        #: directories already created on the active namespace, so a
+        #: prepare pass never re-issues mkdir RPCs
+        self.dirs_made: set = set()
+
+    def close(self) -> None:
+        if self.data_kv is not None:
+            self.data_kv.close()
+            self.data_kv = None
+        if self.index_kv is not None:
+            self.index_kv.close()
+            self.index_kv = None
+        if self.dfs is not None:
+            self.dfs.umount()
+            self.dfs = None
+
+
+def field_dir(key: FieldKey, root: str = DATA_ROOT) -> str:
+    """Directory a field's file lives in (two levels: param, level)."""
+    return f"{root}/{key.param}/{key.level:04d}"
+
+
+def field_file(key: FieldKey, root: str = DATA_ROOT) -> str:
+    """Full file path: dirs by param/level, leaf name step.member.date."""
+    return f"{field_dir(key, root)}/{key.step:03d}.{key.member:03d}.{key.date}"
+
+
+def dirs_for(keys: Sequence[FieldKey], root: str) -> List[str]:
+    """Every directory the keys need, parents before children."""
+    wanted = {root}
+    for key in keys:
+        wanted.add(f"{root}/{key.param}")
+        wanted.add(field_dir(key, root))
+    return sorted(wanted)
+
+
+class FieldMapping:
+    """Strategy interface: one field in, one field out."""
+
+    #: short backend label used in metrics/report ("kv", "array", ...)
+    name = "?"
+
+    def setup(self, ctx: FdbContext) -> Generator:
+        """Task helper: once-per-run initialisation (create shared
+        objects, mount namespaces). Default: nothing."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def prepare(self, ctx: FdbContext, keys: Sequence[FieldKey]) -> Generator:
+        """Task helper: pre-burst namespace preparation (directory
+        trees), run sequentially *before* pipelined writes so concurrent
+        field tasks never race on mkdir. Default: nothing."""
+        return
+        yield  # pragma: no cover - generator marker
+
+    def write(self, ctx: FdbContext, key: FieldKey, payload) -> Generator:
+        """Task helper: persist one field; returns its JSON-able
+        location token (stored in the index entry)."""
+        raise NotImplementedError
+
+    def read(self, ctx: FdbContext, key: FieldKey, location,
+             nbytes: int) -> Generator:
+        """Task helper: fetch one field's payload back."""
+        raise NotImplementedError
+
+
+class ArrayPerField(FieldMapping):
+    """One DaosArray object per field (1-byte cells, chunked dkeys)."""
+
+    name = "array"
+
+    def write(self, ctx, key, payload) -> Generator:
+        array = yield from DaosArray.create(
+            ctx.cont, cell_size=1, chunk_cells=ctx.chunk_bytes,
+            oclass=ctx.oclass,
+        )
+        try:
+            yield from array.write(0, payload)
+        finally:
+            array.close()
+        return [array.obj.oid.hi, array.obj.oid.lo]
+
+    def read(self, ctx, key, location, nbytes) -> Generator:
+        hi, lo = location
+        array = yield from DaosArray.open(ctx.cont, ObjId(hi, lo))
+        try:
+            payload = yield from array.read(0, nbytes // array.cell_size)
+        finally:
+            array.close()
+        return payload
+
+
+class KvValueField(FieldMapping):
+    """The field is one KV value; its canonical key is the dkey."""
+
+    name = "kv"
+
+    def setup(self, ctx) -> Generator:
+        if ctx.data_kv is None:
+            ctx.data_kv = yield from DaosKV.create(ctx.cont, ctx.oclass)
+        return None
+
+    def write(self, ctx, key, payload) -> Generator:
+        yield from ctx.data_kv.put(
+            key.canonical, payload, value_nbytes=payload.nbytes
+        )
+        return None  # data lives under the canonical key itself
+
+    def read(self, ctx, key, location, nbytes) -> Generator:
+        payload = yield from ctx.data_kv.get(
+            key.canonical, value_nbytes=nbytes
+        )
+        return payload
+
+
+class DfsFilePerField(FieldMapping):
+    """One DFS regular file per field under ``/fields/param/level/``."""
+
+    name = "dfs"
+
+    def prepare(self, ctx, keys) -> Generator:
+        yield from _make_dfs_dirs(ctx, dirs_for(keys, DATA_ROOT))
+        return None
+
+    def write(self, ctx, key, payload) -> Generator:
+        path = field_file(key)
+        handle = yield from ctx.dfs.open_file(
+            path, create=True, chunk_size=ctx.chunk_bytes,
+        )
+        try:
+            yield from handle.write(0, payload)
+        finally:
+            handle.close()
+        return path
+
+    def read(self, ctx, key, location, nbytes) -> Generator:
+        handle = yield from ctx.dfs.open_file(location)
+        try:
+            payload = yield from handle.read(0, nbytes)
+        finally:
+            handle.close()
+        return payload
+
+
+class LustreFilePerField(FieldMapping):
+    """The same file-per-field layout on the Lustre contrast cluster."""
+
+    name = "lustre"
+
+    def prepare(self, ctx, keys) -> Generator:
+        yield from _make_lustre_dirs(ctx, dirs_for(keys, DATA_ROOT))
+        return None
+
+    def write(self, ctx, key, payload) -> Generator:
+        path = field_file(key)
+        handle = yield from ctx.mount.open(path, flags=("w", "creat"))
+        try:
+            yield from handle.pwrite(0, payload)
+        finally:
+            yield from handle.close()
+        return path
+
+    def read(self, ctx, key, location, nbytes) -> Generator:
+        handle = yield from ctx.mount.open(location)
+        try:
+            payload = yield from handle.pread(0, nbytes)
+        finally:
+            yield from handle.close()
+        return payload
+
+
+def _make_dfs_dirs(ctx: FdbContext, dirs: Sequence[str]) -> Generator:
+    for path in dirs:
+        if path in ctx.dirs_made:
+            continue
+        try:
+            yield from ctx.dfs.mkdir(path)
+        except DerExist:
+            pass
+        ctx.dirs_made.add(path)
+    return None
+
+
+def _make_lustre_dirs(ctx: FdbContext, dirs: Sequence[str]) -> Generator:
+    for path in dirs:
+        if path in ctx.dirs_made:
+            continue
+        try:
+            yield from ctx.mount.mkdir(path)
+        except FsError as exc:
+            if exc.errno_name != "EEXIST":
+                raise
+        ctx.dirs_made.add(path)
+    return None
+
+
+#: mapping registry for config/CLI lookups
+MAPPINGS: Dict[str, type] = {
+    cls.name: cls
+    for cls in (ArrayPerField, KvValueField, DfsFilePerField,
+                LustreFilePerField)
+}
+
+
+def make_mapping(name: str) -> FieldMapping:
+    try:
+        return MAPPINGS[name]()
+    except KeyError:
+        raise DerInval(
+            f"unknown field mapping {name!r} (one of {sorted(MAPPINGS)})"
+        ) from None

@@ -1,0 +1,219 @@
+"""One-shot FDB runs: boot, archive a field grid, flush, retrieve back.
+
+:func:`run_fdb` is the driver the CLI, the benchmarks and the tests all
+share: build the cluster the backend needs (DAOS, or Lustre for the
+parallel-filesystem contrast), archive a deterministic
+``param x level x step x member x date`` grid through the chosen field
+mapping, land a flush landmark, then expand per-parameter queries and
+scatter-read the fields back. It returns a plain-dict result that
+:func:`repro.fdb.report.build_report` turns into the run report.
+
+Determinism contract: the result is a pure function of
+:class:`FdbParams` — same params, same seed, byte-identical report and
+timeline JSON (pinned by ``tests/fdb`` and the ``make bench-fdb`` gate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.errors import DerInval
+from repro.fdb.archiver import ARCHIVE_SPAN, Archiver
+from repro.fdb.index import make_index
+from repro.fdb.mapping import FdbContext, make_mapping
+from repro.fdb.retriever import RETRIEVE_SPAN, Retriever
+from repro.fdb.schema import FieldQuery, make_fields
+from repro.units import MiB
+
+#: backends that store data on a DAOS cluster
+DAOS_BACKENDS = ("kv", "array", "dfs")
+BACKENDS = DAOS_BACKENDS + ("lustre",)
+
+
+def default_index(backend: str) -> str:
+    """The index each backend pairs with by default: the KV index for
+    native-object mappings, the directory tree for file-per-field ones."""
+    return "kv" if backend in ("kv", "array") else "tree"
+
+
+@dataclass(frozen=True)
+class FdbParams:
+    """Everything one FDB run depends on."""
+
+    backend: str = "kv"
+    index: str = ""              # "" -> default_index(backend)
+    n_params: int = 4
+    n_levels: int = 1
+    n_steps: int = 4
+    n_members: int = 1
+    n_dates: int = 1
+    field_bytes: int = 2 * MiB
+    depth: int = 8
+    sync: bool = False
+    verify: bool = True
+    server_nodes: int = 2
+    client_nodes: int = 1
+    oclass: str = "SX"
+    chunk_bytes: int = MiB
+    seed: int = 0xDA05
+    #: parameters to retrieve (one query per name); () retrieves every
+    #: parameter the grid archived
+    retrieve_params: Tuple[str, ...] = ()
+    tracing: bool = False
+    timeline_interval: Optional[float] = None
+    slo_rules: Tuple[str, ...] = ()
+
+    def resolved_index(self) -> str:
+        return self.index or default_index(self.backend)
+
+    def validate(self) -> None:
+        if self.backend not in BACKENDS:
+            raise DerInval(
+                f"unknown backend {self.backend!r} (one of {list(BACKENDS)})"
+            )
+        if self.backend == "lustre" and self.resolved_index() != "tree":
+            raise DerInval("the lustre backend has no KV index to use")
+        if self.field_bytes < 1:
+            raise DerInval("field_bytes must be >= 1")
+        if self.depth < 1:
+            raise DerInval("depth must be >= 1")
+
+
+def _build_cluster(params: FdbParams):
+    if params.backend == "lustre":
+        from repro.cluster import build_lustre_cluster
+
+        return build_lustre_cluster(
+            server_nodes=params.server_nodes,
+            client_nodes=params.client_nodes,
+            seed=params.seed,
+        )
+    from repro.cluster import build_cluster
+
+    return build_cluster(
+        server_nodes=params.server_nodes,
+        client_nodes=params.client_nodes,
+        seed=params.seed,
+    )
+
+
+def setup_context(cluster, params: FdbParams) -> Generator:
+    """Task helper: connect/mount whatever the backend needs and return
+    a ready :class:`FdbContext` (shared with the chaos tests, which
+    drive the phases themselves)."""
+    from repro.daos.oclass import oclass_by_name
+
+    if params.backend == "lustre":
+        ctx = FdbContext(
+            cluster.sim,
+            mount=cluster.mount(0),
+            chunk_bytes=params.chunk_bytes,
+        )
+        return ctx
+    client = cluster.new_client(0)
+    pool = yield from client.connect_pool("tank")
+    cont = yield from pool.create_container("fdb", oclass=params.oclass)
+    ctx = FdbContext(
+        cluster.sim,
+        cont=cont,
+        oclass=oclass_by_name(params.oclass),
+        chunk_bytes=params.chunk_bytes,
+    )
+    if params.backend == "dfs" or params.resolved_index() == "tree":
+        from repro.dfs import Dfs
+
+        ctx.dfs = yield from Dfs.mount(cont)
+    return ctx
+
+
+def run_fdb(params: FdbParams):
+    """Boot, archive, flush, retrieve; returns ``(result, cluster)``."""
+    params.validate()
+    keys = make_fields(
+        n_params=params.n_params,
+        n_levels=params.n_levels,
+        n_steps=params.n_steps,
+        n_members=params.n_members,
+        n_dates=params.n_dates,
+    )
+    query_params = params.retrieve_params or tuple(
+        sorted({key.param for key in keys})
+    )
+    queries = [FieldQuery(param=name) for name in query_params]
+
+    cluster = _build_cluster(params)
+    if params.tracing or params.timeline_interval is not None:
+        cluster.observe(
+            tracing=params.tracing,
+            metrics=True,
+            timeline_interval=params.timeline_interval,
+            slo_rules=list(params.slo_rules) or None,
+        )
+
+    mapping = make_mapping(params.backend)
+    index = make_index(params.resolved_index(), params.backend)
+
+    def driver():
+        sim = cluster.sim
+        ctx = yield from setup_context(cluster, params)
+        archiver = Archiver(
+            ctx, mapping, index, depth=params.depth, sync=params.sync
+        )
+        yield from archiver.setup(keys)
+        t0 = sim.now
+        yield from archiver.archive(keys, params.field_bytes)
+        landmark = yield from archiver.flush("cycle-001")
+        archive_wall = sim.now - t0
+        yield from archiver.close()
+
+        retriever = Retriever(
+            ctx, mapping, index, depth=params.depth, sync=params.sync,
+            verify=params.verify,
+        )
+        t1 = sim.now
+        matched: List = []
+        for query in queries:
+            matched.extend((yield from retriever.retrieve(query)))
+        retrieve_wall = sim.now - t1
+        ctx.close()
+        return archiver, retriever, landmark, archive_wall, retrieve_wall, matched
+
+    archiver, retriever, landmark, archive_wall, retrieve_wall, matched = (
+        cluster.run(driver())
+    )
+
+    tracer = cluster.sim.tracer
+    archive_breakdown = retrieve_breakdown = None
+    if tracer is not None:
+        from repro.obs import layer_breakdown
+
+        archive_breakdown = layer_breakdown(
+            tracer.spans, ARCHIVE_SPAN, archive_wall
+        )
+        retrieve_breakdown = layer_breakdown(
+            tracer.spans, RETRIEVE_SPAN, retrieve_wall
+        )
+
+    result = {
+        "config": {**asdict(params), "index": params.resolved_index()},
+        "n_fields": len(keys),
+        "archive": {
+            "wall": archive_wall,
+            "fields": archiver.fields,
+            "bytes": archiver.bytes,
+            "latencies": list(archiver.latencies),
+            "breakdown": archive_breakdown,
+        },
+        "retrieve": {
+            "wall": retrieve_wall,
+            "fields": retriever.fields,
+            "bytes": retriever.bytes,
+            "latencies": list(retriever.latencies),
+            "breakdown": retrieve_breakdown,
+        },
+        "matched": [key.canonical for key in matched],
+        "landmarks": [landmark],
+        "end_time": cluster.sim.now,
+    }
+    return result, cluster

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.obs.breakdown import phase_layer_breakdown
+from repro.obs.breakdown import layer_breakdown, phase_layer_breakdown
 from repro.obs.chrome import chrome_trace, validate_chrome_trace, write_chrome_trace
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -47,6 +47,7 @@ __all__ = [
     "write_chrome_trace",
     "validate_chrome_trace",
     "phase_layer_breakdown",
+    "layer_breakdown",
     "TimelineScraper",
     "TimeSeriesStore",
     "DEFAULT_INTERVAL",

@@ -48,6 +48,29 @@ def phase_layer_breakdown(
         and s.kind != "i"
         and s.attrs.get("rep") == repetition
     ]
+    return _exclusive_breakdown(spans, roots, nprocs, wall)
+
+
+def layer_breakdown(
+    spans: Iterable[Span],
+    root_name: str,
+    wall: float,
+    nprocs: int = 1,
+) -> Optional[Dict[str, float]]:
+    """Exclusive-time per-layer breakdown under every ``root_name`` span.
+
+    The generic form of :func:`phase_layer_breakdown` for subsystems
+    whose phases are not IOR repetitions (e.g. the FDB archive/retrieve
+    pipelines rooted at ``fdb.archive``/``fdb.retrieve``).
+    """
+    spans = list(spans)
+    roots = [s for s in spans if s.name == root_name and s.kind != "i"]
+    return _exclusive_breakdown(spans, roots, nprocs, wall)
+
+
+def _exclusive_breakdown(
+    spans: List[Span], roots: List[Span], nprocs: int, wall: float
+) -> Optional[Dict[str, float]]:
     if not roots or nprocs <= 0:
         return None
 

@@ -12,7 +12,6 @@ observing its own backpressure.
 
 from __future__ import annotations
 
-import zlib
 from typing import Generator, List, Optional
 
 from repro.daos import api as daos
@@ -23,6 +22,7 @@ from repro.tenants.spec import (
     MetaStormWork,
     Work,
 )
+from repro.units import stable_seed
 
 #: fixed fill byte for KV values (content is irrelevant to timing)
 _KV_FILL = b"\x5a"
@@ -31,7 +31,7 @@ _KV_FILL = b"\x5a"
 def tenant_seed(tenant_id: str) -> int:
     """Stable small seed for a tenant's payload patterns (not Python's
     salted ``hash()`` — runs must not depend on PYTHONHASHSEED)."""
-    return zlib.crc32(tenant_id.encode("utf-8")) & 0xFFFF
+    return stable_seed(tenant_id)
 
 
 class TenantIoContext:

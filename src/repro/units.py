@@ -7,6 +7,8 @@ command-line convention (``-t 1m`` means 1 MiB).
 
 from __future__ import annotations
 
+import zlib
+
 KiB = 1024
 MiB = 1024 * KiB
 GiB = 1024 * MiB
@@ -53,6 +55,19 @@ def parse_size(value: int | str) -> int:
     if not num or suffix not in _SUFFIX:
         raise ValueError(f"cannot parse size {value!r}")
     return int(num) * _SUFFIX[suffix]
+
+
+def stable_seed(text: str) -> int:
+    """Stable 16-bit content seed for deterministic payload patterns.
+
+    Python's ``hash()`` is salted per process (PYTHONHASHSEED), so it
+    must never seed simulated data; crc32 is stable across processes,
+    platforms and python versions.
+
+    >>> stable_seed("t2m/012")
+    13014
+    """
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFF
 
 
 def fmt_size(nbytes: float) -> str:
