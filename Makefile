@@ -11,7 +11,8 @@ CHAOS_SEEDS ?= 0xDA05 1 7
 export CHAOS_SEEDS
 
 .PHONY: test chaos bench bench-cache bench-rebuild bench-async \
-	bench-flows bench-tenants bench-fdb trace trace-cache timeline all
+	bench-flows bench-tenants bench-fdb bench-hdf5 trace trace-cache \
+	timeline all
 
 # Tier-1: the full fast suite (chaos determinism/scenario tests included).
 test:
@@ -86,6 +87,24 @@ bench-fdb:
 		artifacts/BENCH_fdb.rerun.stable.json
 	rm artifacts/BENCH_fdb.rerun.json \
 		artifacts/BENCH_fdb.rerun.stable.json
+
+# HDF5 interface sweep: posix-vol vs daos-vol vs DFS at the Figure 2
+# point, fpp + shared collective, sync vs --aio-depth 4. Seeded end to
+# end: runs twice and the machine-independent projections must match
+# byte for byte (which also pins the native paths to the pre-VOL seed
+# figures).
+bench-hdf5:
+	mkdir -p artifacts
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_hdf5.py \
+		--out artifacts/BENCH_hdf5.json \
+		--stable-out artifacts/BENCH_hdf5.stable.json
+	PYTHONPATH=src:benchmarks $(PY) benchmarks/bench_hdf5.py \
+		--out artifacts/BENCH_hdf5.rerun.json \
+		--stable-out artifacts/BENCH_hdf5.rerun.stable.json
+	cmp artifacts/BENCH_hdf5.stable.json \
+		artifacts/BENCH_hdf5.rerun.stable.json
+	rm artifacts/BENCH_hdf5.rerun.json \
+		artifacts/BENCH_hdf5.rerun.stable.json
 
 # One instrumented fig-1 point: emit a Chrome trace + metrics snapshot
 # and validate the trace against the trace-event schema. The JSON lands

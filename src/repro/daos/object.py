@@ -25,7 +25,6 @@ writer keeps routing around a target that has started rebuilding.
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.daos.objid import ObjId
@@ -42,31 +41,6 @@ DEFAULT_CHUNK = MiB
 
 #: a route entry: (target id actually serving the slot, readable, writable)
 Route = Tuple[int, bool, bool]
-
-
-def _legacy_flags(method: str, args: tuple, chunk_size: int, akey: bytes):
-    """Deprecation shim: ``chunk_size``/``akey`` used to be plain
-    positional parameters on the array ops; they are keyword-only now so
-    every data-plane signature reads ``(offset, ..., *, chunk_size,
-    akey)``. Old positional call sites keep working one release longer,
-    with a warning."""
-    if not args:
-        return chunk_size, akey
-    if len(args) > 2:
-        raise TypeError(
-            f"{method}() takes at most 2 trailing flags "
-            f"(chunk_size, akey); got {len(args)}"
-        )
-    warnings.warn(
-        f"passing chunk_size/akey positionally to {method}() is "
-        "deprecated; pass them as keywords",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    chunk_size = args[0]
-    if len(args) == 2:
-        akey = args[1]
-    return chunk_size, akey
 
 
 class ObjectHandle:
@@ -571,14 +545,11 @@ class ObjectHandle:
         self,
         offset: int,
         data,
-        *_legacy,
+        *,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: write ``data`` at byte ``offset``; returns nbytes."""
-        chunk_size, akey = _legacy_flags(
-            "ObjectHandle.write", _legacy, chunk_size, akey
-        )
         payload = as_payload(data)
         if payload.nbytes == 0:
             return 0
@@ -607,14 +578,11 @@ class ObjectHandle:
         self,
         offset: int,
         length: int,
-        *_legacy,
+        *,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: read ``length`` bytes (holes zero-filled)."""
-        chunk_size, akey = _legacy_flags(
-            "ObjectHandle.read", _legacy, chunk_size, akey
-        )
         if length <= 0:
             return as_payload(b"")
         ec = self.oid.oclass.is_ec
@@ -719,15 +687,12 @@ class ObjectHandle:
             )
         )
 
-    def size(self, *_legacy, chunk_size: int = DEFAULT_CHUNK,
+    def size(self, *, chunk_size: int = DEFAULT_CHUNK,
              akey: bytes = ARRAY_AKEY) -> Generator:
         """Task helper: apparent array size (max written byte + 1).
 
         Non-EC: a size query per layout group leader. EC: a query per
         readable *data* shard (cell positions map back to file offsets)."""
-        chunk_size, akey = _legacy_flags(
-            "ObjectHandle.size", _legacy, chunk_size, akey
-        )
         oclass = self.oid.oclass
         high = 0
         for route in self._routes():
@@ -774,14 +739,11 @@ class ObjectHandle:
         self,
         offset: int,
         length: int,
-        *_legacy,
+        *,
         chunk_size: int = DEFAULT_CHUNK,
         akey: bytes = ARRAY_AKEY,
     ) -> Generator:
         """Task helper: punch bytes [offset, offset+length)."""
-        chunk_size, akey = _legacy_flags(
-            "ObjectHandle.punch_range", _legacy, chunk_size, akey
-        )
         return (
             yield from self._retry_stale(
                 lambda: self._punch_range_once(offset, length, chunk_size, akey)

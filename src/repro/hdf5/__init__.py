@@ -7,7 +7,11 @@ Structurally modelled on HDF5 (not byte-compatible — see DESIGN.md §5):
 - datasets with dataspaces (N-d dims), datatypes, and contiguous or
   chunked layouts, addressed through hyperslab selections,
 - virtual file drivers: ``sec2`` (any POSIX-like mount — a DFuse mount
-  in the paper) and ``mpio`` (collective I/O over MPI-IO).
+  in the paper) and ``mpio`` (collective I/O over MPI-IO),
+- virtual object layers (VOL, mirroring HDF5 1.12's plugin seam): the
+  *native* connector (the format above, through a VFD) and the *daos*
+  connector, which maps datasets onto DAOS arrays and metadata onto KV
+  objects with no POSIX layer at all (see :mod:`repro.hdf5.vol`).
 
 Performance-relevant fidelity: with the default ``alignment=1`` the raw
 data lands at unaligned offsets interleaved with metadata, and the sec2
@@ -23,5 +27,9 @@ from repro.hdf5.file import H5File
 from repro.hdf5.datatype import Datatype
 from repro.hdf5.dataspace import Dataspace
 from repro.hdf5.vfd import MpioVfd, Sec2Vfd
+from repro.hdf5.vol import DaosVol, NativeVol, Vol, daos_vol_unlink
 
-__all__ = ["H5File", "Datatype", "Dataspace", "Sec2Vfd", "MpioVfd"]
+__all__ = [
+    "H5File", "Datatype", "Dataspace", "Sec2Vfd", "MpioVfd",
+    "Vol", "NativeVol", "DaosVol", "daos_vol_unlink",
+]

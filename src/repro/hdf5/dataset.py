@@ -1,16 +1,17 @@
-"""Datasets: contiguous and chunked layouts addressed by hyperslabs.
+"""Datasets: hyperslab-addressed arrays, stored by the file's VOL.
 
-Chunked datasets are restricted to chunking along the outermost axis
-(``chunk_dims[1:] == dims[1:]``), the common time-series pattern; it
-guarantees that a dataset-contiguous run is also chunk-contiguous, so
-fragments never need element-level scatter/gather.
+The dataset owns the *logical* description (dataspace, datatype, attrs)
+and the storage-assigned layout record; how a hyperslab maps to bytes on
+storage is the connector's business (:mod:`repro.hdf5.vol`): native
+layouts are contiguous or chunked-along-axis-0 file addresses, the DAOS
+connector maps element runs straight onto a byte array object.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Dict, Generator, Optional, Sequence
 
-from repro.daos.vos.payload import Payload, ZeroPayload, as_payload, concat_payloads
+from repro.daos.vos.payload import as_payload
 from repro.hdf5.dataspace import Dataspace
 from repro.hdf5.datatype import Datatype
 
@@ -59,65 +60,6 @@ class Dataset:
     def nbytes(self) -> int:
         return self.space.n_elements * self.dtype.itemsize
 
-    def _byte_runs(
-        self, start: Sequence[int], count: Sequence[int]
-    ) -> List[Tuple[int, int]]:
-        """(file_address, nbytes) runs for a selection, layout-resolved.
-
-        Chunked layouts may return runs with address -1 for chunks that
-        were never allocated (read as fill value)."""
-        item = self.dtype.itemsize
-        out: List[Tuple[int, int]] = []
-        if self.layout["kind"] == "contiguous":
-            base = self.layout["addr"]
-            for off_el, len_el in self.space.runs(start, count):
-                out.append((base + off_el * item, len_el * item))
-            return out
-        # chunked along axis 0
-        chunk_rows = self.layout["chunk_rows"]
-        row_bytes = (
-            self.space.n_elements // self.space.dims[0]
-        ) * item  # bytes per outermost row
-        chunk_bytes = chunk_rows * row_bytes
-        chunks: Dict[str, int] = self.layout["chunks"]
-        for off_el, len_el in self.space.runs(start, count):
-            byte_off = off_el * item
-            remaining = len_el * item
-            while remaining > 0:
-                chunk_idx = byte_off // chunk_bytes
-                within = byte_off % chunk_bytes
-                take = min(chunk_bytes - within, remaining)
-                addr = chunks.get(str(chunk_idx), -1)
-                out.append(
-                    (addr + within if addr >= 0 else -1, take)
-                )
-                byte_off += take
-                remaining -= take
-        return out
-
-    def _ensure_chunks(
-        self, start: Sequence[int], count: Sequence[int]
-    ) -> Generator:
-        """Allocate the chunks a write touches (collective-deterministic)."""
-        if self.layout["kind"] != "chunked":
-            return None
-        chunk_rows = self.layout["chunk_rows"]
-        lo = start[0] // chunk_rows
-        hi = (start[0] + count[0] - 1) // chunk_rows
-        row_bytes = (
-            self.space.n_elements // self.space.dims[0]
-        ) * self.dtype.itemsize
-        chunk_bytes = chunk_rows * row_bytes
-        dirty = False
-        for chunk_idx in range(lo, hi + 1):
-            key = str(chunk_idx)
-            if key not in self.layout["chunks"]:
-                self.layout["chunks"][key] = self.file._alloc_raw(chunk_bytes)
-                dirty = True
-        if dirty:
-            yield from self.file._metadata_dirty()
-        return None
-
     # ------------------------------------------------------------- I/O
     def write(
         self, start: Sequence[int], count: Sequence[int], data
@@ -129,34 +71,19 @@ class Dataset:
             raise ValueError(
                 f"payload is {payload.nbytes} B, selection needs {expected} B"
             )
-        yield from self._ensure_chunks(start, count)
-        cursor = 0
-        for addr, nbytes in self._byte_runs(start, count):
-            fragment = payload.slice(cursor, cursor + nbytes)
-            cursor += nbytes
-            if addr < 0:
-                raise AssertionError("writing an unallocated chunk")
-            yield from self.file.vfd.write_raw(
-                addr, fragment, self.file.data_aligned
+        return (
+            yield from self.file.vol.dataset_write(
+                self.file, self, start, count, payload
             )
-        return payload.nbytes
+        )
 
     def read(self, start: Sequence[int], count: Sequence[int]) -> Generator:
         """Task helper: read a hyperslab; returns a row-major payload."""
-        parts: List[Payload] = []
-        for addr, nbytes in self._byte_runs(start, count):
-            if addr < 0:
-                parts.append(ZeroPayload(nbytes))  # fill value
-            else:
-                part = yield from self.file.vfd.read_raw(
-                    addr, nbytes, self.file.data_aligned
-                )
-                if part.nbytes < nbytes:  # sparse region past EOF
-                    part = concat_payloads(
-                        [part, ZeroPayload(nbytes - part.nbytes)]
-                    )
-                parts.append(part)
-        return concat_payloads(parts)
+        return (
+            yield from self.file.vol.dataset_read(
+                self.file, self, start, count
+            )
+        )
 
     def read_all(self) -> Generator:
         zeros = [0] * self.space.rank

@@ -1,98 +1,81 @@
-"""H5File: create/open, the space allocator, and the metadata catalog.
+"""H5File: create/open and the metadata catalog, over a pluggable VOL.
 
 Parallel semantics follow HDF5: structural metadata operations
 (``create_dataset``) must be performed collectively with identical
-arguments, so every rank's in-memory catalog and allocator evolve in
-lock-step; only rank 0 writes metadata frames at flush/close time.
+arguments, so every rank's in-memory catalog evolves in lock-step; the
+connector decides who persists metadata at flush/close time (rank 0 for
+the native mpio path, any rank for the DAOS KV path).
+
+Storage connectors implement :class:`~repro.hdf5.vol.Vol`; passing a
+bare :class:`~repro.hdf5.vfd.Vfd` keeps the pre-VOL call signature
+working by wrapping it in the native-format connector.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generator, Optional, Sequence
 
-from repro.errors import ReproError
 from repro.hdf5.dataset import Dataset
 from repro.hdf5.dataspace import Dataspace
 from repro.hdf5.datatype import Datatype
-from repro.hdf5.format import (
-    SUPERBLOCK_SIZE,
-    FormatError,
-    pack_catalog,
-    pack_superblock,
-    unpack_catalog,
-    unpack_superblock,
-)
-from repro.hdf5.vfd import MpioVfd, Vfd
+from repro.hdf5.vol import CATALOG_REGION, H5Error, Vol, as_vol
 
-#: generous fixed region after the superblock reserved for the catalog;
-#: real HDF5 interleaves metadata with data, which is exactly why its
-#: default layout leaves raw data unaligned — we reproduce that by
-#: starting raw data right after this (odd-sized) region when
-#: ``alignment`` is 1.
-CATALOG_REGION = 64 * 1024 - 512 - 37
-
-
-class H5Error(ReproError):
-    pass
+__all__ = ["H5File", "H5Error", "CATALOG_REGION"]
 
 
 class H5File:
     """An open HDF5-lite file."""
 
-    def __init__(self, vfd: Vfd, alignment: int):
-        self.vfd = vfd
+    def __init__(self, vol: Vol, alignment: int):
+        self.vol = vol
         self.alignment = max(1, alignment)
         self.datasets: Dict[str, Dataset] = {}
         self.attrs: Dict[str, object] = {}
-        self._eof = SUPERBLOCK_SIZE + CATALOG_REGION
         self._dirty = False
         self._open = False
 
     # ------------------------------------------------------------- lifecycle
     @classmethod
     def create(
-        cls, vfd: Vfd, path: str, alignment: int = 1
+        cls, storage, path: str, alignment: int = 1
     ) -> Generator:
-        """Task helper: create a fresh file (truncating any old one)."""
-        h5 = cls(vfd, alignment)
-        yield from vfd.open(path, create=True, trunc=True)
+        """Task helper: create a fresh file (truncating any old one).
+
+        ``storage`` is a :class:`~repro.hdf5.vol.Vol` connector or a
+        bare :class:`~repro.hdf5.vfd.Vfd` (native format implied).
+        """
+        vol = as_vol(storage)
+        h5 = cls(vol, alignment)
+        yield from vol.create_file(h5, path)
         h5._open = True
         h5._dirty = True
         yield from h5.flush()
         return h5
 
     @classmethod
-    def open(cls, vfd: Vfd, path: str) -> Generator:
+    def open(cls, storage, path: str) -> Generator:
         """Task helper: open an existing file, loading its catalog."""
-        yield from vfd.open(path, create=False, trunc=False)
-        raw = yield from vfd.read_meta(0, SUPERBLOCK_SIZE)
-        record = unpack_superblock(raw.materialize())
-        h5 = cls(vfd, record["alignment"])
-        h5._eof = record["eof"]
-        if record["catalog_len"]:
-            raw_catalog = yield from vfd.read_meta(
-                record["catalog_addr"], record["catalog_len"]
-            )
-            catalog = unpack_catalog(raw_catalog.materialize())
-            h5.attrs = catalog.get("attrs", {})
-            for name, ds_record in catalog.get("datasets", {}).items():
-                h5.datasets[name] = Dataset.from_record(h5, name, ds_record)
+        vol = as_vol(storage)
+        record = yield from vol.open_file(path)
+        h5 = cls(vol, record["alignment"])
+        h5.attrs = record.get("attrs", {})
+        for name, ds_record in record.get("datasets", {}).items():
+            h5.datasets[name] = Dataset.from_record(h5, name, ds_record)
         h5._open = True
         return h5
 
     @property
-    def data_aligned(self) -> bool:
-        """Raw data is aligned iff the alignment property covers the
-        storage's preferred I/O size — the A4 ablation knob."""
-        return self.alignment >= self.vfd.preferred_io
+    def vfd(self):
+        """The native connector's VFD (None for non-native VOLs)."""
+        return self.vol.vfd
 
-    # ------------------------------------------------------------- allocator
-    def _alloc_raw(self, nbytes: int) -> int:
-        addr = self._eof
-        if self.alignment > 1 and addr % self.alignment:
-            addr += self.alignment - addr % self.alignment
-        self._eof = addr + nbytes
-        return addr
+    @property
+    def data_aligned(self) -> bool:
+        """Raw data is aligned iff the connector says transfers skip
+        client-side staging — for the native format, iff the alignment
+        property covers the storage's preferred I/O size (the A4
+        ablation knob); always true for the DAOS connector."""
+        return self.vol.data_aligned(self)
 
     def _metadata_dirty(self) -> Generator:
         self._dirty = True
@@ -119,16 +102,10 @@ class H5File:
             raise H5Error(f"dataset {name!r} exists")
         space = Dataspace(tuple(dims))
         datatype = Datatype(dtype)
-        if chunk_rows is None:
-            layout = {
-                "kind": "contiguous",
-                "addr": self._alloc_raw(space.n_elements * datatype.itemsize),
-            }
-        else:
-            if not (0 < chunk_rows <= dims[0]):
-                raise H5Error(f"bad chunk_rows {chunk_rows}")
-            layout = {"kind": "chunked", "chunk_rows": chunk_rows, "chunks": {}}
-        dataset = Dataset(self, name, space, datatype, layout, attrs)
+        if chunk_rows is not None and not (0 < chunk_rows <= dims[0]):
+            raise H5Error(f"bad chunk_rows {chunk_rows}")
+        dataset = Dataset(self, name, space, datatype, {}, attrs)
+        yield from self.vol.dataset_added(self, dataset, chunk_rows)
         self.datasets[name] = dataset
         yield from self._metadata_dirty()
         return dataset
@@ -149,32 +126,24 @@ class H5File:
         }
 
     def flush(self) -> Generator:
-        """Task helper: persist catalog + superblock (rank 0 in parallel)."""
+        """Task helper: persist the catalog through the connector
+        (rank 0 writes it in native parallel files)."""
         if not self._open:
             raise H5Error("file not open")
         if not self._dirty:
             return None
-        frame = pack_catalog(self._catalog_record())
-        if len(frame) > CATALOG_REGION:
-            raise H5Error("catalog overflow (too many datasets)")
-        is_mpio = isinstance(self.vfd, MpioVfd)
-        writer = (not is_mpio) or self.vfd.ctx.rank == 0
-        if writer:
-            yield from self.vfd.write_meta(SUPERBLOCK_SIZE, frame)
-            yield from self.vfd.write_meta(
-                0,
-                pack_superblock(
-                    SUPERBLOCK_SIZE, len(frame), self._eof, self.alignment
-                ),
-            )
-        if is_mpio:
-            yield from self.vfd.ctx.barrier()
+        yield from self.vol.flush_meta(self)
         self._dirty = False
+        return None
+
+    def sync(self) -> Generator:
+        """Task helper: durability barrier for raw data."""
+        yield from self.vol.sync()
         return None
 
     def close(self) -> Generator:
         """Task helper: flush and release."""
         yield from self.flush()
-        yield from self.vfd.close()
+        yield from self.vol.close_file(self)
         self._open = False
         return None

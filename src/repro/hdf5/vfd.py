@@ -117,16 +117,23 @@ class MpioVfd(Vfd):
     """Parallel driver over MPI-IO; raw transfers may be collective."""
 
     def __init__(self, ctx, driver, collective: bool = True,
-                 h5_op_cpu: float = 30e-6):
+                 h5_op_cpu: float = 30e-6,
+                 cb_buffer: int = None, aio_depth: int = 0):
+        from repro.mpiio.romio import DEFAULT_CB_BUFFER
+
         self.ctx = ctx
         self.driver = driver
         self.collective = collective
         self.h5_op_cpu = h5_op_cpu
+        self.cb_buffer = DEFAULT_CB_BUFFER if cb_buffer is None else cb_buffer
+        #: aggregator-side event-queue depth inside collective calls
+        self.aio_depth = aio_depth
         self._file: Optional[MpiFile] = None
 
     def open(self, path: str, create: bool, trunc: bool) -> Generator:
         self._file = yield from MpiFile.open(
-            self.ctx, path, self.driver, create=create, trunc=trunc
+            self.ctx, path, self.driver, create=create, trunc=trunc,
+            cb_buffer=self.cb_buffer, aio_depth=self.aio_depth,
         )
         return None
 

@@ -1,5 +1,32 @@
-"""IOR backends (IOR calls these AIORI modules)."""
+"""IOR backends (IOR calls these AIORI modules).
 
-from repro.ior.backends.base import Backend, make_backend
+Importing this package populates the api registry: each backend module
+calls :func:`register_backend` at import time, and the import order
+below is the ``-a`` choices order the CLI shows.
+"""
 
-__all__ = ["Backend", "make_backend"]
+from repro.ior.backends.base import (
+    Backend,
+    available_apis,
+    backend_class,
+    make_backend,
+    register_backend,
+    unregister_backend,
+)
+
+# self-registering backend modules, in CLI display order
+from repro.ior.backends import posix as _posix  # noqa: F401
+from repro.ior.backends import dfs as _dfs  # noqa: F401
+from repro.ior.backends import mpiio as _mpiio  # noqa: F401
+from repro.ior.backends import hdf5 as _hdf5  # noqa: F401
+from repro.ior.backends import daos_array as _daos_array  # noqa: F401
+from repro.ior.backends import hdf5_daos as _hdf5_daos  # noqa: F401
+
+__all__ = [
+    "Backend",
+    "available_apis",
+    "backend_class",
+    "make_backend",
+    "register_backend",
+    "unregister_backend",
+]

@@ -17,7 +17,7 @@ from repro.daos.kv import DaosKV
 from repro.daos.objid import ObjId
 from repro.daos.oclass import S1, oclass_by_name
 from repro.errors import DerNonexist
-from repro.ior.backends.base import Backend
+from repro.ior.backends.base import Backend, register_backend
 
 #: reserved OID (below RESERVED_OIDS) for the path->oid catalog
 CATALOG_LO = 2
@@ -28,6 +28,7 @@ class DaosArrayBackend(Backend):
     # daos_array_write/read take a daos_event_t; concurrent ops on one
     # array pipeline through the object layer's coalescing streams
     supports_async = True
+    needs_daos = True
 
     def _catalog(self) -> DaosKV:
         return DaosKV.open(self.storage.cont, ObjId.generate(S1, lo=CATALOG_LO))
@@ -87,3 +88,6 @@ class DaosArrayBackend(Backend):
         yield from obj.punch_object()
         obj.close()
         return None
+
+
+register_backend(DaosArrayBackend.name, DaosArrayBackend)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.ior.backends.base import Backend
+from repro.ior.backends.base import Backend, register_backend
 
 
 class DfsBackend(Backend):
@@ -13,6 +13,7 @@ class DfsBackend(Backend):
     # write/read is an independent object-layer op and the IoStream
     # coalesces concurrent transfers into batched wire transfers
     supports_async = True
+    needs_daos = True
 
     def open(self, path: str, create: bool) -> Generator:
         dfs = self.storage.dfs
@@ -52,3 +53,6 @@ class DfsBackend(Backend):
     def remove(self, path: str) -> Generator:
         yield from self.storage.dfs.unlink(path)
         return None
+
+
+register_backend(DfsBackend.name, DfsBackend)

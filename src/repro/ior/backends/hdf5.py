@@ -1,19 +1,20 @@
-"""HDF5 backend.
+"""HDF5 backend (native-format VOL).
 
 File-per-process runs use the ``sec2`` VFD on the DFuse mount — the
 paper's slow path (unaligned raw data + staging). Shared-file runs use
 the ``mpio`` VFD (parallel HDF5), with collective transfers when
 ``-c`` is given — the configuration that keeps HDF5 competitive in
-Figure 2. One 1-D byte dataset named ``data`` spans the whole file,
-matching how IOR's HDF5 backend lays out its test file.
+Figure 2; ``--aio-depth N`` additionally pipelines the collective
+aggregators' storage calls. One 1-D byte dataset named ``data`` spans
+the whole file, matching how IOR's HDF5 backend lays out its test file.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Tuple
 
-from repro.hdf5 import H5File, MpioVfd, Sec2Vfd
-from repro.ior.backends.base import Backend
+from repro.hdf5 import H5File, MpioVfd, NativeVol, Sec2Vfd
+from repro.ior.backends.base import Backend, register_backend
 from repro.mpiio import UfsDriver
 from repro.obs.tracer import NOOP_SPAN
 
@@ -22,15 +23,39 @@ DATASET = "data"
 
 class Hdf5Backend(Backend):
     name = "HDF5"
+    supports_collective = True
+    # async depth applies to shared-file collective runs, where the mpio
+    # VFD's aggregators pipeline their transfers (two-phase + eq)
+    supports_async = True
 
-    def _vfd(self):
+    @classmethod
+    def check_params(cls, params) -> None:
+        if params.aio_queue_depth > 1 and (
+            params.file_per_proc or not params.collective
+        ):
+            raise ValueError(
+                "HDF5 async pipelining rides the collective mpio VFD; it "
+                "requires a shared file with collective I/O (-c, no -F) — "
+                "or use the HDF5-DAOS api"
+            )
+
+    @property
+    def pipelined(self) -> bool:
+        # pipelining happens inside the mpio VFD's collective calls
+        return False
+
+    def _vol(self):
         if self.params.file_per_proc:
-            return Sec2Vfd(self.storage.mount)
-        return MpioVfd(
+            return NativeVol(Sec2Vfd(self.storage.mount))
+        return NativeVol(MpioVfd(
             self.ctx,
             UfsDriver(self.storage.mount),
             collective=self.params.collective,
-        )
+            cb_buffer=self.params.cb_buffer,
+            aio_depth=(
+                self.params.aio_queue_depth if self.params.collective else 0
+            ),
+        ))
 
     def _dataset_bytes(self) -> int:
         per_rank = self.params.bytes_per_rank()
@@ -39,44 +64,59 @@ class Hdf5Backend(Backend):
         return per_rank * self.ctx.size
 
     def open(self, path: str, create: bool) -> Generator:
-        vfd = self._vfd()
+        vol = self._vol()
         if create:
-            h5 = yield from H5File.create(vfd, path)
+            h5 = yield from H5File.create(vol, path)
             dataset = yield from h5.create_dataset(
                 DATASET, (self._dataset_bytes(),), dtype="u1"
             )
             yield from h5.flush()
         else:
-            h5 = yield from H5File.open(vfd, path)
+            h5 = yield from H5File.open(vol, path)
             dataset = h5.dataset(DATASET)
         return (h5, dataset)
 
-    def _span(self, name: str, **attrs):
+    def _span(self, name: str, vol: str, **attrs):
         tracer = self.ctx.sim.tracer
         if tracer is None:
             return NOOP_SPAN
+        attrs["vol"] = vol
         return tracer.span(
-            name, "hdf5", node=self.ctx.node.name, attrs=attrs or None
+            name, "hdf5", node=self.ctx.node.name, attrs=attrs
         )
 
+    def _count(self, op: str, vol: str, nbytes: int) -> None:
+        metrics = self.ctx.sim.metrics
+        if metrics is not None:
+            metrics.incr(f"hdf5.{op}.bytes{{vol={vol}}}", nbytes)
+            metrics.incr(f"hdf5.{op}.ops{{vol={vol}}}")
+
     def write(self, handle: Tuple, offset: int, payload) -> Generator:
-        _h5, dataset = handle
+        h5, dataset = handle
+        vol = h5.vol.kind
         with self._span(
-            "hdf5.dataset_write", offset=offset, nbytes=payload.nbytes
+            "hdf5.dataset_write", vol, offset=offset, nbytes=payload.nbytes
         ):
-            return (
+            nbytes = (
                 yield from dataset.write((offset,), (payload.nbytes,), payload)
             )
+        self._count("write", vol, payload.nbytes)
+        return nbytes
 
     def read(self, handle: Tuple, offset: int, nbytes: int) -> Generator:
-        _h5, dataset = handle
-        with self._span("hdf5.dataset_read", offset=offset, nbytes=nbytes):
-            return (yield from dataset.read((offset,), (nbytes,)))
+        h5, dataset = handle
+        vol = h5.vol.kind
+        with self._span(
+            "hdf5.dataset_read", vol, offset=offset, nbytes=nbytes
+        ):
+            payload = yield from dataset.read((offset,), (nbytes,))
+        self._count("read", vol, nbytes)
+        return payload
 
     def fsync(self, handle: Tuple) -> Generator:
         h5, _dataset = handle
         yield from h5.flush()
-        yield from h5.vfd.sync()
+        yield from h5.sync()
         return None
 
     def close(self, handle: Tuple) -> Generator:
@@ -87,3 +127,6 @@ class Hdf5Backend(Backend):
     def remove(self, path: str) -> Generator:
         yield from self.storage.mount.unlink(path)
         return None
+
+
+register_backend(Hdf5Backend.name, Hdf5Backend)

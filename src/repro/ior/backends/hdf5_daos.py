@@ -1,0 +1,84 @@
+"""HDF5-DAOS backend: HDF5 through the DAOS VOL connector.
+
+The interface the DAOS community actually built for HDF5 (the HDF Group
+daos-vol plugin): the same H5File/Dataset API the ``HDF5`` api drives,
+but datasets live in :class:`~repro.daos.array.DaosArray` objects and
+metadata in :class:`~repro.daos.kv.DaosKV` records — no DFuse mount, no
+MPI-IO, no staging, no HDF5 on-disk format. Raw transfers go straight
+to the object layer, so the api is async-capable like DFS/DAOS: with
+``--aio-depth N`` the runner keeps N dataset transfers in flight per
+rank, file-per-process *and* shared-file.
+
+Shared files need no collective machinery: rank 0 creates the file and
+dataset and flushes the KV catalog, the other ranks open it after a
+barrier, and every rank writes its hyperslab independently.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.daos.oclass import oclass_by_name
+from repro.hdf5 import DaosVol, H5File, daos_vol_unlink
+from repro.ior.backends.base import register_backend
+from repro.ior.backends.hdf5 import DATASET, Hdf5Backend
+
+
+class Hdf5DaosBackend(Hdf5Backend):
+    name = "HDF5-DAOS"
+    needs_daos = True
+    supports_async = True
+    # -c selects MPI-IO collective buffering, which this api bypasses
+    supports_collective = False
+
+    @classmethod
+    def check_params(cls, params) -> None:
+        return None  # no VFD constraints: async works fpp and shared
+
+    @property
+    def pipelined(self) -> bool:
+        # concurrent dataset I/O maps to concurrent array ops; the
+        # runner's per-rank event queue drives the pipelining
+        return True
+
+    def _oclass(self):
+        name = self.params.oclass or self.storage.cont.props.get("oclass", "SX")
+        return oclass_by_name(name)
+
+    def _vol(self):
+        return DaosVol(
+            self.storage.cont,
+            oclass=self._oclass(),
+            chunk_bytes=self.params.chunk_size,
+        )
+
+    def open(self, path: str, create: bool) -> Generator:
+        if create and not self.params.file_per_proc:
+            # shared file: rank 0 creates and publishes the KV catalog
+            if self.ctx.rank == 0:
+                h5 = yield from H5File.create(self._vol(), path)
+                dataset = yield from h5.create_dataset(
+                    DATASET, (self._dataset_bytes(),), dtype="u1"
+                )
+                yield from h5.flush()
+                yield from self.ctx.barrier()
+                return (h5, dataset)
+            yield from self.ctx.barrier()
+            h5 = yield from H5File.open(self._vol(), path)
+            return (h5, h5.dataset(DATASET))
+        if create:
+            h5 = yield from H5File.create(self._vol(), path)
+            dataset = yield from h5.create_dataset(
+                DATASET, (self._dataset_bytes(),), dtype="u1"
+            )
+            yield from h5.flush()
+            return (h5, dataset)
+        h5 = yield from H5File.open(self._vol(), path)
+        return (h5, h5.dataset(DATASET))
+
+    def remove(self, path: str) -> Generator:
+        yield from daos_vol_unlink(self.storage.cont, path)
+        return None
+
+
+register_backend(Hdf5DaosBackend.name, Hdf5DaosBackend)

@@ -1,18 +1,37 @@
 """MPI-IO backend over the DFuse mount (ROMIO ufs driver), matching the
 paper's "MPI-IO" lines. ``collective=True`` switches the data calls to
-two-phase collective buffering."""
+two-phase collective buffering; ``--aio-depth N`` (collective only)
+pipelines the aggregator-side storage calls through an event queue
+inside each collective call."""
 
 from __future__ import annotations
 
 from typing import Generator
 
-from repro.ior.backends.base import Backend
+from repro.ior.backends.base import Backend, register_backend
 from repro.mpiio import MpiFile, UfsDriver
 from repro.obs.tracer import NOOP_SPAN
 
 
 class MpiioBackend(Backend):
     name = "MPIIO"
+    supports_collective = True
+    # async depth applies to the collective path: aggregators pipeline
+    # their cb-buffer transfers inside each write_at_all/read_at_all
+    supports_async = True
+
+    @classmethod
+    def check_params(cls, params) -> None:
+        if params.aio_queue_depth > 1 and not params.collective:
+            raise ValueError(
+                "MPIIO async pipelining rides the two-phase aggregators; "
+                "it requires collective I/O (-c)"
+            )
+
+    @property
+    def pipelined(self) -> bool:
+        # pipelining happens inside the collective call, not the runner
+        return False
 
     def _span(self, name: str, **attrs):
         tracer = self.ctx.sim.tracer
@@ -25,7 +44,11 @@ class MpiioBackend(Backend):
     def open(self, path: str, create: bool) -> Generator:
         driver = UfsDriver(self.storage.mount)
         handle = yield from MpiFile.open(
-            self.ctx, path, driver, create=create
+            self.ctx, path, driver, create=create,
+            cb_buffer=self.params.cb_buffer,
+            aio_depth=(
+                self.params.aio_queue_depth if self.params.collective else 0
+            ),
         )
         return handle
 
@@ -62,3 +85,6 @@ class MpiioBackend(Backend):
     def remove(self, path: str) -> Generator:
         yield from self.storage.mount.unlink(path)
         return None
+
+
+register_backend(MpiioBackend.name, MpiioBackend)

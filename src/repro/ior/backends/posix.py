@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.ior.backends.base import Backend
+from repro.ior.backends.base import Backend, register_backend
 
 
 class PosixBackend(Backend):
@@ -44,3 +44,6 @@ class PosixBackend(Backend):
     def remove(self, path: str) -> Generator:
         yield from self.storage.mount.unlink(path)
         return None
+
+
+register_backend(PosixBackend.name, PosixBackend)

@@ -16,7 +16,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.ior.config import APIS, IorParams
+from repro.ior.backends import available_apis, backend_class
+from repro.ior.config import IorParams
 from repro.ior.runner import run_ior
 
 
@@ -25,7 +26,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="ior(sim)",
         description="IOR on the simulated DAOS / Lustre stack",
     )
-    parser.add_argument("-a", "--api", choices=APIS, default="DFS")
+    parser.add_argument("-a", "--api", choices=available_apis(),
+                        default="DFS")
     parser.add_argument("-b", "--block-size", default="16m")
     parser.add_argument("-t", "--transfer-size", default="1m")
     parser.add_argument("-s", "--segments", type=int, default=1)
@@ -42,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="io500-hard style transfer interleave")
     parser.add_argument("-O", "--option", action="append", default=[],
                         metavar="KEY=VALUE",
-                        help="backend options: oclass=S2, chunk_size=1m")
+                        help="backend options: oclass=S2, chunk_size=1m, "
+                             "cb_buffer=16m")
     # cluster geometry
     parser.add_argument("-N", "--nodes", type=int, default=2,
                         help="client nodes")
@@ -59,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--aio-depth", type=int, default=0, metavar="N",
                         help="async event-queue depth: keep up to N "
                              "transfers in flight per rank (0 = blocking "
-                             "loop; >1 needs the DFS or DAOS api)")
+                             "loop; >1 needs an async-capable api)")
     parser.add_argument("--seed", type=int, default=0xDA05)
     # observability
     parser.add_argument("--trace-out", metavar="PATH",
@@ -110,6 +113,7 @@ def params_from_args(args) -> IorParams:
         repetitions=args.repetitions,
         oclass=options.get("oclass"),
         chunk_size=options.get("chunk_size", "1m"),
+        cb_buffer=options.get("cb_buffer", "16m"),
         cache_mode=getattr(args, "cache_mode", "none"),
         aio_queue_depth=getattr(args, "aio_depth", 0),
     )
@@ -122,7 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         # a read-only run needs pre-existing data; run a silent write pass
         params.write = True
     if args.lustre:
-        if params.api in ("DFS", "DAOS"):
+        if backend_class(params.api).needs_daos:
             raise SystemExit(f"api {params.api} requires DAOS (drop --lustre)")
         if params.cache_mode != "none":
             raise SystemExit("--cache-mode applies to the DAOS stack only")

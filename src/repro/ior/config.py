@@ -1,4 +1,11 @@
-"""IOR parameters (the subset of the real tool's options we exercise)."""
+"""IOR parameters (the subset of the real tool's options we exercise).
+
+The set of valid ``-a`` apis and the per-api constraints (collective-
+capable, async-capable) are not spelled out here: they come from the
+backend registry's capability flags
+(:mod:`repro.ior.backends`), so registering a new backend
+automatically extends validation and the CLI choices.
+"""
 
 from __future__ import annotations
 
@@ -7,14 +14,13 @@ from typing import Optional, Union
 
 from repro.units import MiB, parse_size
 
-APIS = ("POSIX", "DFS", "MPIIO", "HDF5", "DAOS")
-
 
 @dataclass
 class IorParams:
     """One IOR invocation's workload description."""
 
-    #: -a: POSIX | DFS | MPIIO | HDF5 | DAOS
+    #: -a: any registered api (POSIX | DFS | MPIIO | HDF5 | DAOS |
+    #: HDF5-DAOS out of the box)
     api: str = "DFS"
     #: -b: contiguous bytes each process writes per segment
     block_size: Union[int, str] = "16m"
@@ -42,8 +48,11 @@ class IorParams:
     repetitions: int = 1
     #: DAOS object class for created files/objects (None = container default)
     oclass: Optional[str] = None
-    #: DFS chunk size for created files
+    #: DFS chunk size for created files (also the DAOS-VOL array chunk)
     chunk_size: Union[int, str] = MiB
+    #: collective-buffering aggregate size per underlying call (ROMIO's
+    #: cb_buffer_size; MPIIO/HDF5 collective runs only)
+    cb_buffer: Union[int, str] = 16 * MiB
     #: working directory inside the filesystem under test
     test_dir: str = "/ior"
     #: client-side caching tier: none | readonly | writeback
@@ -57,8 +66,10 @@ class IorParams:
     aio_queue_depth: int = 0
 
     def __post_init__(self) -> None:
-        if self.api not in APIS:
-            raise ValueError(f"api must be one of {APIS}, got {self.api!r}")
+        # resolved lazily so config stays importable without the backends
+        from repro.ior.backends import available_apis, backend_class
+
+        backend = backend_class(self.api)  # unknown api -> ValueError
         if self.cache_mode not in ("none", "readonly", "writeback"):
             raise ValueError(
                 "cache_mode must be none, readonly or writeback, "
@@ -67,6 +78,7 @@ class IorParams:
         self.block_size = parse_size(self.block_size)
         self.transfer_size = parse_size(self.transfer_size)
         self.chunk_size = parse_size(self.chunk_size)
+        self.cb_buffer = parse_size(self.cb_buffer)
         if self.block_size <= 0 or self.transfer_size <= 0:
             raise ValueError("block and transfer sizes must be positive")
         if self.block_size % self.transfer_size:
@@ -76,22 +88,36 @@ class IorParams:
             )
         if self.segments <= 0 or self.repetitions <= 0:
             raise ValueError("segments and repetitions must be positive")
-        if self.collective and self.api not in ("MPIIO", "HDF5"):
-            raise ValueError("collective I/O requires the MPIIO or HDF5 api")
+        if self.cb_buffer <= 0:
+            raise ValueError("cb_buffer must be positive")
+        if self.collective and not backend.supports_collective:
+            capable = tuple(
+                api for api in available_apis()
+                if backend_class(api).supports_collective
+            )
+            raise ValueError(
+                f"collective I/O requires a collective-capable api "
+                f"{capable}, got {self.api}"
+            )
         if self.interleaved and self.file_per_proc:
             raise ValueError("interleaved layout applies to shared files")
         if self.aio_queue_depth < 0:
             raise ValueError("aio_queue_depth must be >= 0")
-        if self.aio_queue_depth > 1 and self.api not in ("DFS", "DAOS"):
+        if self.aio_queue_depth > 1 and not backend.supports_async:
+            capable = tuple(
+                api for api in available_apis()
+                if backend_class(api).supports_async
+            )
             raise ValueError(
-                "async pipelining (aio_queue_depth > 1) requires the DFS "
-                f"or DAOS api, got {self.api}"
+                f"async pipelining (aio_queue_depth > 1) requires an "
+                f"async-capable api {capable}, got {self.api}"
             )
         if self.aio_queue_depth > 1 and self.cache_mode != "none":
             raise ValueError(
                 "async pipelining bypasses the caching tier; use "
                 "cache_mode='none' with aio_queue_depth > 1"
             )
+        backend.check_params(self)
 
     @property
     def transfers_per_block(self) -> int:

@@ -121,7 +121,10 @@ def _ior_op_span(ctx, name: str, repetition: int, offset: int):
 
 
 def _use_async(params: IorParams, backend) -> bool:
-    return params.aio_queue_depth > 0 and backend.supports_async
+    # apis that pipeline internally (MPIIO/HDF5 collective aggregators)
+    # report supports_async but not pipelined; the runner's per-rank
+    # event queue only drives backends whose ops pipeline end to end
+    return params.aio_queue_depth > 0 and backend.pipelined
 
 
 def _reap(ctx, op: str, event) -> None:

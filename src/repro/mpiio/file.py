@@ -21,11 +21,15 @@ class MpiFile:
     """One rank's handle on a (possibly shared) MPI-IO file."""
 
     def __init__(self, ctx: RankCtx, driver: Driver, path: str,
-                 cb_buffer: int = DEFAULT_CB_BUFFER):
+                 cb_buffer: int = DEFAULT_CB_BUFFER, aio_depth: int = 0):
         self.ctx = ctx
         self.driver = driver
         self.path = path
         self.cb_buffer = cb_buffer
+        #: event-queue depth for aggregator-side pipelining inside
+        #: collective calls (ROMIO double-buffering generalized); <= 1
+        #: keeps the sequential aggregator loops
+        self.aio_depth = aio_depth
         self._open = False
 
     # ------------------------------------------------------------- lifecycle
@@ -38,6 +42,7 @@ class MpiFile:
         create: bool = False,
         trunc: bool = False,
         cb_buffer: int = DEFAULT_CB_BUFFER,
+        aio_depth: int = 0,
     ) -> Generator:
         """Task helper (collective): open the file on every rank.
 
@@ -46,7 +51,7 @@ class MpiFile:
         storm on one directory entry (ROMIO does the same). When ranks
         open distinct paths (file-per-process jobs, which IOR drives
         with MPI_COMM_SELF), every rank creates its own file."""
-        handle = cls(ctx, driver, path, cb_buffer)
+        handle = cls(ctx, driver, path, cb_buffer, aio_depth)
         paths = yield from ctx.allgather(path, nbytes=128)
         shared = all(p == paths[0] for p in paths)
         if not shared:
@@ -87,7 +92,8 @@ class MpiFile:
         self._require_open()
         return (
             yield from collective_read(
-                self.ctx, self.driver, offset, length, self.cb_buffer
+                self.ctx, self.driver, offset, length, self.cb_buffer,
+                self.aio_depth,
             )
         )
 
@@ -95,7 +101,8 @@ class MpiFile:
         self._require_open()
         return (
             yield from collective_write(
-                self.ctx, self.driver, offset, data, self.cb_buffer
+                self.ctx, self.driver, offset, data, self.cb_buffer,
+                self.aio_depth,
             )
         )
 

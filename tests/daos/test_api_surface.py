@@ -56,34 +56,46 @@ def test_handles_are_context_managers(cluster, cont):
     assert pool_map is None  # PoolHandle.close() invalidated it
 
 
-def test_legacy_positional_chunk_size_warns_but_works(cluster, cont):
+def test_legacy_positional_chunk_size_is_a_type_error(cluster, cont):
+    """The PR-5 deprecation window is over: chunk_size/akey are
+    keyword-only on every array op, and old positional call sites fail
+    loudly instead of warning."""
+    def go():
+        oid = yield from cont.alloc_oid()
+        obj = cont.open_object(oid)
+        rejected = []
+        for attempt in (
+            lambda: obj.write(0, b"x" * 64, 1 << 16),
+            lambda: obj.read(0, 64, 1 << 16),
+            lambda: obj.size(1 << 16),
+            lambda: obj.punch_range(0, 64, 1 << 16),
+        ):
+            try:
+                yield from attempt()
+            except TypeError:
+                rejected.append(True)
+            else:
+                rejected.append(False)
+        obj.close()
+        return rejected
+
+    assert cluster.run(go()) == [True, True, True, True]
+
+
+def test_keyword_flags_still_work(cluster, cont):
     def go():
         oid = yield from cont.alloc_oid()
         obj = cont.open_object(oid)
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            yield from obj.write(0, b"x" * 64, 1 << 16)  # legacy positional
-            payload = yield from obj.read(0, 64, 1 << 16)
+            yield from obj.write(0, b"x" * 64, chunk_size=1 << 16)
+            payload = yield from obj.read(0, 64, chunk_size=1 << 16)
         obj.close()
         return payload.nbytes, [w.category for w in caught]
 
     nbytes, categories = cluster.run(go())
     assert nbytes == 64
-    assert categories and all(c is DeprecationWarning for c in categories)
-
-
-def test_too_many_positionals_rejected(cluster, cont):
-    def go():
-        oid = yield from cont.alloc_oid()
-        obj = cont.open_object(oid)
-        try:
-            yield from obj.write(0, b"x", 1 << 16, b"akey", "extra")
-        except TypeError:
-            return "rejected"
-        finally:
-            obj.close()
-
-    assert cluster.run(go()) == "rejected"
+    assert not categories
 
 
 def test_der_stale_retries_surface_in_metrics(cluster, cont):

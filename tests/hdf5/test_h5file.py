@@ -184,6 +184,57 @@ def test_unaligned_sec2_pays_staging(cluster, mount):
     assert slow > fast * 1.5  # staging dominates when unaligned
 
 
+def test_data_aligned_tracks_vfd_preferred_io(cluster, mount):
+    def probe(alignment, path):
+        def go():
+            vfd = Sec2Vfd(mount)
+            h5 = yield from H5File.create(vfd, path, alignment=alignment)
+            result = (vfd.preferred_io, h5.data_aligned)
+            yield from h5.close()
+            return result
+
+        return cluster.run(go())
+
+    pio, at_blksize = probe(mount.blksize, "/pio-eq.h5")
+    assert pio == mount.blksize  # sec2 advertises the mount's I/O size
+    _, above = probe(2 * mount.blksize, "/pio-above.h5")
+    _, at_half = probe(mount.blksize // 2, "/pio-half.h5")
+    _, at_one = probe(1, "/pio-one.h5")
+    assert at_blksize and above  # alignment >= preferred_io skips staging
+    assert not at_half and not at_one  # anything below still stages
+
+
+def test_preferred_io_alignment_skips_staging_charge(cluster, mount):
+    n_writes, nbytes = 4, MiB
+
+    def timed(alignment, path):
+        def go():
+            h5 = yield from H5File.create(
+                Sec2Vfd(mount), path, alignment=alignment
+            )
+            ds = yield from h5.create_dataset(
+                "d", (n_writes * nbytes,), dtype="u1"
+            )
+            start = cluster.sim.now
+            for i in range(n_writes):
+                yield from ds.write(
+                    (i * nbytes,), (nbytes,),
+                    PatternPayload(seed=2, origin=i * nbytes, nbytes=nbytes),
+                )
+            elapsed = cluster.sim.now - start
+            yield from h5.close()
+            return elapsed
+
+        return cluster.run(go())
+
+    fast = timed(mount.blksize, "/stage-skip.h5")
+    slow = timed(1, "/stage-charged.h5")
+    staging = n_writes * nbytes / Sec2Vfd(mount).staging_bw
+    # alignment=1 pays the conversion/sieve pipeline on every raw write;
+    # alignment=preferred_io bypasses it entirely
+    assert slow - fast >= staging * 0.5
+
+
 def test_parallel_hdf5_over_mpio(cluster, mount):
     world = MpiWorld(cluster.sim, cluster.fabric, cluster.clients, ppn=2)
     blk = 64 * KiB

@@ -49,7 +49,9 @@ def test_offset_layouts():
     assert hard.offset(4, 0, 0, 1) == 4 * KiB
 
 
-@pytest.mark.parametrize("api", ["POSIX", "DFS", "MPIIO", "HDF5", "DAOS"])
+@pytest.mark.parametrize(
+    "api", ["POSIX", "DFS", "MPIIO", "HDF5", "DAOS", "HDF5-DAOS"]
+)
 def test_fpp_write_read_verify(cluster, api):
     params = IorParams(
         api=api, file_per_proc=True, verify=True, oclass="S2", **SMALL
@@ -61,7 +63,9 @@ def test_fpp_write_read_verify(cluster, api):
     assert result.max_read_bw > 0
 
 
-@pytest.mark.parametrize("api", ["POSIX", "DFS", "MPIIO", "HDF5", "DAOS"])
+@pytest.mark.parametrize(
+    "api", ["POSIX", "DFS", "MPIIO", "HDF5", "DAOS", "HDF5-DAOS"]
+)
 def test_shared_file_write_read_verify(cluster, api):
     params = IorParams(api=api, verify=True, oclass="SX", **SMALL)
     result = run_ior(cluster, params, ppn=2)
@@ -77,6 +81,33 @@ def test_collective_mpiio_shared(cluster):
 
 def test_collective_hdf5_shared(cluster):
     params = IorParams(api="HDF5", collective=True, verify=True, **SMALL)
+    result = run_ior(cluster, params, ppn=2)
+    assert result.verify_errors == 0
+
+
+@pytest.mark.parametrize("file_per_proc", [True, False])
+def test_hdf5_daos_async_pipelines_and_verifies(cluster, file_per_proc):
+    params = IorParams(
+        api="HDF5-DAOS", file_per_proc=file_per_proc, verify=True,
+        fsync=True, oclass="S2", aio_queue_depth=4, **SMALL,
+    )
+    result = run_ior(cluster, params, ppn=2)
+    assert result.verify_errors == 0
+    assert result.max_write_bw > 0
+
+
+def test_mpiio_collective_async_verifies(cluster):
+    params = IorParams(
+        api="MPIIO", collective=True, verify=True, aio_queue_depth=4, **SMALL
+    )
+    result = run_ior(cluster, params, ppn=2)
+    assert result.verify_errors == 0
+
+
+def test_hdf5_collective_async_verifies(cluster):
+    params = IorParams(
+        api="HDF5", collective=True, verify=True, aio_queue_depth=4, **SMALL
+    )
     result = run_ior(cluster, params, ppn=2)
     assert result.verify_errors == 0
 
